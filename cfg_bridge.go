@@ -1,0 +1,10 @@
+package givetake
+
+import (
+	"givetake/internal/cfg"
+	"givetake/internal/ir"
+)
+
+// cfgBuild isolates the cfg dependency of BuildGraph so the facade file
+// stays focused on the public surface.
+func cfgBuild(p *ir.Program) (*cfg.Graph, error) { return cfg.Build(p) }

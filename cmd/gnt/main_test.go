@@ -1,0 +1,123 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig1 = `
+distributed x(1000)
+real y(1000), z(1000), a(1000)
+
+do i = 1, n
+    y(i) = ...
+enddo
+if test then
+    do j = 1, n
+        z(j) = ...
+    enddo
+    do k = 1, n
+        ... = x(a(k))
+    enddo
+else
+    do l = 1, n
+        ... = x(a(l))
+    enddo
+endif
+`
+
+func runCLI(t *testing.T, args []string, stdin string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, strings.NewReader(stdin), &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+func TestCommModeDefault(t *testing.T) {
+	out := runCLI(t, nil, fig1)
+	if !strings.Contains(out, "READ_Send{x(a(1:n))}") {
+		t.Fatalf("missing vectorized send:\n%s", out)
+	}
+	if strings.Count(out, "READ_Recv") != 2 {
+		t.Fatalf("want two receives:\n%s", out)
+	}
+}
+
+func TestCommModeAtomic(t *testing.T) {
+	out := runCLI(t, []string{"-atomic"}, fig1)
+	if strings.Contains(out, "READ_Send") {
+		t.Fatalf("atomic mode should not split:\n%s", out)
+	}
+	if strings.Count(out, "READ{") != 2 {
+		t.Fatalf("want two atomic reads:\n%s", out)
+	}
+}
+
+func TestGraphMode(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "graph"}, fig1)
+	for _, want := range []string{"header do i", "header do k", "entry", "exit", "E", "C"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("graph output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpMode(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "dump"}, fig1)
+	for _, want := range []string{"universe:", "x(a(1:n))", "TAKEN_in", "RES_in/eager"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPREMode(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "pre"}, "do i = 1, n\n x(i) = b + c\nenddo\n")
+	for _, want := range []string{"b + c", "LCM", "Morel-Renvoise", "GIVE-N-TAKE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pre output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrefetchMode(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "prefetch"}, "real u(100)\ndo i = 1, n\n s = u(5)\nenddo\n")
+	if !strings.Contains(out, "PREFETCH_Send{u(5)}") {
+		t.Fatalf("prefetch output missing issue:\n%s", out)
+	}
+}
+
+func TestRunMode(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "run", "-n", "50"}, fig1)
+	for _, want := range []string{"naive", "gnt-atomic", "gnt-split", "msgs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("run output missing %q:\n%s", want, out)
+		}
+	}
+	// the naive row reports ~n messages, the gnt rows 1
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.HasPrefix(l, "gnt-split") {
+			fields := strings.Fields(l)
+			if len(fields) < 2 || fields[1] != "1" {
+				t.Fatalf("gnt-split messages = %v, want 1", fields)
+			}
+		}
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "bogus"}, strings.NewReader("x = 1"), &out); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+}
+
+func TestParseErrorPropagates(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("do i = \n"), &out); err == nil {
+		t.Fatal("parse error should propagate")
+	}
+}

@@ -1,0 +1,87 @@
+// Premotion runs classical partial redundancy elimination as an instance
+// of GIVE-N-TAKE (a LAZY BEFORE problem, paper §1) and compares it with
+// the two frameworks it generalizes: Morel–Renvoise PRE and Lazy Code
+// Motion. The showcase is the paper's zero-trip loop argument: a
+// loop-invariant expression inside a Fortran DO loop cannot be hoisted
+// by the safe classical frameworks but moves above the loop under
+// GIVE-N-TAKE.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	gt "givetake"
+	"givetake/internal/cfg"
+	"givetake/internal/pre"
+)
+
+var cases = []struct {
+	name, src string
+}{
+	{"straight-line CSE", `
+x = b + c
+y = b + c
+z = b + c
+`},
+	{"partial redundancy", `
+if c then
+    x = b + c
+else
+    y = 1
+endif
+z = b + c
+`},
+	{"zero-trip loop invariant", `
+do i = 1, n
+    x(i) = b + c
+enddo
+`},
+	{"nested loop invariant", `
+do i = 1, n
+    do j = 1, n
+        x(j) = b + c
+    enddo
+enddo
+`},
+	{"kill inside loop", `
+do i = 1, n
+    x(i) = b + c
+    b = x(i)
+enddo
+`},
+}
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "case\tanalysis\tinserts\tweighted\treplaced")
+	for _, c := range cases {
+		prog, err := gt.Parse(c.src)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		g, err := cfg.Build(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, _ := pre.BuildProblem(g)
+
+		lcm := p.Measure(p.LazyCodeMotion())
+		mr := p.Measure(p.MorelRenvoise())
+		gntPl, _, err := p.GiveNTake()
+		if err != nil {
+			log.Fatal(err)
+		}
+		gnt := p.Measure(gntPl)
+
+		fmt.Fprintf(w, "%s\tLCM\t%d\t%.0f\t%d\n", c.name, lcm.Inserts, lcm.Weighted, lcm.Replaced)
+		fmt.Fprintf(w, "\tMorel-Renvoise\t%d\t%.0f\t%d\n", mr.Inserts, mr.Weighted, mr.Replaced)
+		fmt.Fprintf(w, "\tGIVE-N-TAKE\t%d\t%.0f\t%d\n", gnt.Inserts, gnt.Weighted, gnt.Replaced)
+	}
+	w.Flush()
+	fmt.Println("\nweighted = Σ inserts × 10^loopdepth (static frequency estimate);")
+	fmt.Println("on the zero-trip cases only GIVE-N-TAKE reaches weight 1: the")
+	fmt.Println("classical frameworks must keep the computation inside the DO loop.")
+}

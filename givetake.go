@@ -1,0 +1,146 @@
+// Package givetake reproduces GIVE-N-TAKE, the balanced code placement
+// framework of von Hanxleden and Kennedy (PLDI 1994), together with the
+// full stack the paper builds on: a mini-Fortran frontend, interval flow
+// graphs over Tarjan intervals, the fifteen-equation elimination solver
+// with EAGER/LAZY and BEFORE/AFTER problem flavors, communication
+// generation for distributed arrays (READ/WRITE send–receive splitting
+// with message vectorization and latency hiding), classical PRE baselines
+// (Morel–Renvoise and Lazy Code Motion), an interpreter, and an α–β
+// machine cost model.
+//
+// The facade exposes the handful of entry points most users need:
+//
+//	prog, err := givetake.Parse(src)             // mini-Fortran → AST
+//	cg, err := givetake.GenerateComm(prog)       // solve READ + WRITE placement
+//	fmt.Print(cg.AnnotatedSource(givetake.SplitComm))
+//	trace, err := givetake.Execute(annotated, givetake.ExecConfig{N: 1000})
+//	cost := givetake.CostModelHighLatency.Cost(trace)
+//
+// Lower-level access — the raw solver, the interval graph, the PRE
+// baselines — lives in the internal packages and is re-exported here
+// where it forms part of the stable API.
+package givetake
+
+import (
+	"givetake/internal/comm"
+	"givetake/internal/core"
+	"givetake/internal/frontend"
+	"givetake/internal/interp"
+	"givetake/internal/interval"
+	"givetake/internal/ir"
+	"givetake/internal/machine"
+)
+
+// Program is a parsed mini-Fortran compilation unit.
+type Program = ir.Program
+
+// Parse parses and checks mini-Fortran source: DO loops, IF/ELSE,
+// forward GOTOs out of loops, `real`/`distributed` array declarations,
+// and '...' placeholders, as used in the paper's figures.
+func Parse(src string) (*Program, error) { return frontend.Parse(src) }
+
+// Format renders a program back to source text.
+func Format(p *Program) string { return ir.ProgramString(p) }
+
+// CommGen is the result of communication generation: the solved READ
+// (BEFORE) and WRITE (AFTER) placement problems over the program's
+// value-numbered section universe.
+type CommGen = comm.Analysis
+
+// CommOptions selects what AnnotatedSource/Annotate emit.
+type CommOptions = comm.Options
+
+// SplitComm emits Send/Recv halves (EAGER + LAZY solutions) for reads
+// and writes — the paper's latency-hiding placement.
+var SplitComm = comm.DefaultOptions
+
+// AtomicComm emits one atomic operation per production at the LAZY
+// placement, e.g. for a runtime-library call.
+var AtomicComm = CommOptions{Reads: true, Writes: true}
+
+// GenerateComm analyzes a program and solves both communication
+// placement problems.
+func GenerateComm(p *Program) (*CommGen, error) { return comm.Analyze(p) }
+
+// NaiveComm is the per-reference strawman of the paper's Figure 2 left:
+// each distributed reference fetches its element in place.
+func NaiveComm(p *Program, opt CommOptions) *Program { return comm.NaiveAnnotate(p, opt) }
+
+// Solver-level API -----------------------------------------------------
+
+// Solution is a solved GIVE-N-TAKE instance carrying every dataflow
+// variable of the paper's Figure 13 plus the EAGER and LAZY results.
+type Solution = core.Solution
+
+// Init carries the initial variables TAKE_init, STEAL_init, GIVE_init.
+type Init = core.Init
+
+// Graph is the Tarjan-interval flow graph of §3.3.
+type Graph = interval.Graph
+
+// Mode selects the production schedule.
+type Mode = core.Mode
+
+// Eager and Lazy name the two schedules of a solution.
+const (
+	Eager = core.Eager
+	Lazy  = core.Lazy
+)
+
+// BuildGraph constructs the interval flow graph of a program: CFG with
+// one node per statement, critical edges split, loops discovered, edges
+// classified ENTRY/CYCLE/JUMP/FORWARD/SYNTHETIC.
+func BuildGraph(p *Program) (*Graph, error) {
+	c, err := cfgBuild(p)
+	if err != nil {
+		return nil, err
+	}
+	return interval.FromCFG(c)
+}
+
+// ReverseGraph builds the reversed view used to solve AFTER problems
+// (production follows consumption, paper §5.3).
+func ReverseGraph(g *Graph) (*Graph, error) { return interval.Reverse(g) }
+
+// Solve runs the GiveNTake algorithm (paper Fig. 15): one evaluation of
+// each equation per node, O(E) bit-vector steps.
+func Solve(g *Graph, universe int, init *Init) *Solution {
+	return core.Solve(g, universe, init)
+}
+
+// NewInit returns empty initial variables for a graph of n nodes.
+func NewInit(n int) *Init { return core.NewInit(n) }
+
+// Verify checks a solution against the paper's correctness criteria
+// (C1 balance, C2 safety, C3 sufficiency) on all bounded execution
+// paths; it returns the violations found (nil for a correct placement).
+func Verify(s *Solution, init *Init, cfg VerifyConfig) []core.Violation {
+	return core.Verify(s, init, cfg)
+}
+
+// VerifyConfig bounds the path enumeration of Verify.
+type VerifyConfig = core.VerifyConfig
+
+// Execution and cost modeling ------------------------------------------
+
+// ExecConfig parameterizes program execution.
+type ExecConfig = interp.Config
+
+// Trace is the dynamic communication trace of one execution.
+type Trace = interp.Trace
+
+// Execute runs a (possibly annotated) program and records its
+// communication trace.
+func Execute(p *Program, cfg ExecConfig) (*Trace, error) { return interp.Run(p, cfg) }
+
+// CostModel is an α–β latency/bandwidth model with overlap credit.
+type CostModel = machine.Model
+
+// Predefined cost models.
+var (
+	// CostModelHighLatency resembles an iPSC-class message-passing
+	// machine: startup dominates.
+	CostModelHighLatency = machine.HighLatency
+	// CostModelLowLatency resembles a fast-interconnect machine.
+	CostModelLowLatency = machine.LowLatency
+)

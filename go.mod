@@ -1,0 +1,3 @@
+module givetake
+
+go 1.22

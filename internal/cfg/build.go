@@ -1,0 +1,161 @@
+package cfg
+
+import (
+	"fmt"
+
+	"givetake/internal/ir"
+)
+
+// Build lowers a checked program to a normalized CFG: it creates the
+// entry/exit nodes, one node per statement, branch/join nodes for IFs,
+// header nodes for DO loops (test-at-header, zero-trip semantics), anchor
+// nodes for GOTO labels, then prunes unreachable code and splits critical
+// edges. The result satisfies Graph.Validate.
+func Build(prog *ir.Program) (*Graph, error) {
+	b := &builder{
+		g: &Graph{
+			Prog:       prog,
+			StmtBlock:  map[ir.Stmt]*Block{},
+			LoopHeader: map[*ir.Do]*Block{},
+			IfBranch:   map[*ir.If]*Block{},
+			IfJoin:     map[*ir.If]*Block{},
+		},
+		anchors: map[string]*Block{},
+	}
+	b.g.Entry = b.g.NewBlock(KEntry)
+	cur := b.lower(prog.Body, b.g.Entry)
+	b.g.Exit = b.g.NewBlock(KExit)
+	if cur != nil {
+		b.g.AddEdge(cur, b.g.Exit)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	// An anchor whose labeled statement was unreachable straight-line code
+	// still flows onward; any anchor left without successors (label at
+	// program end) flows to exit.
+	for _, a := range b.anchors {
+		if len(a.Succs) == 0 {
+			b.g.AddEdge(a, b.g.Exit)
+		}
+	}
+	b.g.Compact()
+	b.g.SplitCriticalEdges()
+	b.g.Compact()
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+type builder struct {
+	g       *Graph
+	anchors map[string]*Block
+	err     error
+}
+
+// addEdgeUnique adds from → to unless that edge already exists; merges
+// into joins and anchors are semantically single edges even when several
+// source-level constructs produce them (e.g. two empty IF arms).
+func (b *builder) addEdgeUnique(from, to *Block) {
+	if !contains(from.Succs, to) {
+		b.g.AddEdge(from, to)
+	}
+}
+
+func (b *builder) anchor(label string) *Block {
+	if a, ok := b.anchors[label]; ok {
+		return a
+	}
+	a := b.g.NewBlock(KAnchor)
+	a.LabelName = label
+	b.anchors[label] = a
+	return a
+}
+
+// lower appends the CFG for stmts after cur and returns the node the
+// following code should attach to, or nil if control never falls through
+// (the list ended in an unconditional GOTO).
+func (b *builder) lower(stmts []ir.Stmt, cur *Block) *Block {
+	for _, s := range stmts {
+		// A labeled statement that is a GOTO target starts at its anchor.
+		if l := s.Label(); l != "" {
+			a := b.anchor(l)
+			if cur != nil {
+				b.g.AddEdge(cur, a)
+			}
+			cur = a
+		}
+		if cur == nil {
+			// unreachable straight-line code after a goto; checked programs
+			// only reach here for genuinely dead statements, which we skip
+			// (Compact would drop their nodes anyway).
+			continue
+		}
+		switch s := s.(type) {
+		case *ir.Assign, *ir.Continue, *ir.Comm:
+			n := b.g.NewBlock(KStmt)
+			n.Stmt = s
+			b.g.StmtBlock[s] = n
+			b.g.AddEdge(cur, n)
+			cur = n
+		case *ir.Goto:
+			b.addEdgeUnique(cur, b.anchor(s.Target))
+			cur = nil
+		case *ir.Do:
+			h := b.g.NewBlock(KHeader)
+			h.Loop = s
+			b.g.LoopHeader[s] = h
+			b.g.AddEdge(cur, h)
+			// Succs[0] = body entry.
+			bodyEnd := b.lower(s.Body, h)
+			if len(h.Succs) == 0 {
+				// Empty body: materialize it as a continue node so the
+				// loop still has a unique interval member and CYCLE edge.
+				n := b.g.NewBlock(KStmt)
+				c := &ir.Continue{}
+				n.Stmt = c
+				b.g.AddEdge(h, n)
+				bodyEnd = n
+			}
+			if bodyEnd != nil {
+				b.g.AddEdge(bodyEnd, h) // the CYCLE edge
+			}
+			// Succs[last] = loop exit; taken when the trip count is zero
+			// or exhausted.
+			cur = h
+		case *ir.If:
+			br := b.g.NewBlock(KBranch)
+			br.Cond = s.Cond
+			b.g.IfBranch[s] = br
+			b.g.AddEdge(cur, br)
+			join := b.g.NewBlock(KJoin)
+			b.g.IfJoin[s] = join
+			thenEnd := b.lower(s.Then, br)
+			if thenEnd == br {
+				// empty then arm: explicit fall-through edge
+				b.addEdgeUnique(br, join)
+			} else if thenEnd != nil {
+				b.addEdgeUnique(thenEnd, join)
+			}
+			elseEnd := b.lower(s.Else, br)
+			if elseEnd == br {
+				b.addEdgeUnique(br, join)
+			} else if elseEnd != nil {
+				b.addEdgeUnique(elseEnd, join)
+			}
+			if len(join.Preds) == 0 {
+				// both arms jumped away: nothing falls through
+				cur = nil
+				continue
+			}
+			cur = join
+		default:
+			if b.err == nil {
+				b.err = fmt.Errorf("cfg: cannot lower %T", s)
+			}
+			return cur
+		}
+	}
+	return cur
+}

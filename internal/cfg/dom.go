@@ -1,0 +1,141 @@
+package cfg
+
+// Dominators computes the immediate-dominator relation with the
+// Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast Dominance
+// Algorithm"). It returns idom indexed by Block.ID; idom[entry] = entry,
+// and idom[b] = nil for blocks unreachable from entry.
+func (g *Graph) Dominators() []*Block {
+	rpo := g.ReversePostorder()
+	pos := make([]int, len(g.Blocks))
+	for i, b := range rpo {
+		pos[b.ID] = i
+	}
+	idom := make([]*Block, len(g.Blocks))
+	idom[g.Entry.ID] = g.Entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for pos[a.ID] > pos[b.ID] {
+				a = idom[a.ID]
+			}
+			for pos[b.ID] > pos[a.ID] {
+				b = idom[b.ID]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p.ID] == nil {
+					continue // p not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b.ID] != newIdom {
+				idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom relation
+// returned by Dominators (every node dominates itself).
+func Dominates(idom []*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b.ID]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// ReversePostorder returns the blocks reachable from Entry in reverse
+// postorder of a DFS following successor edges.
+func (g *Graph) ReversePostorder() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// BackEdges returns the edges (m, h) where h dominates m — the loop back
+// edges of a reducible graph.
+func (g *Graph) BackEdges() [][2]*Block {
+	idom := g.Dominators()
+	var out [][2]*Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if Dominates(idom, s, b) {
+				out = append(out, [2]*Block{b, s})
+			}
+		}
+	}
+	return out
+}
+
+// Reducible reports whether the graph is reducible: removing all back
+// edges (sink dominates source) must leave an acyclic graph. Programs
+// accepted by the frontend are reducible by construction; hand-built
+// graphs may not be.
+func (g *Graph) Reducible() bool {
+	idom := g.Dominators()
+	// Kahn's algorithm on the forward (non-back) edges.
+	indeg := make([]int, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !Dominates(idom, s, b) {
+				indeg[s.ID]++
+			}
+		}
+	}
+	var queue []*Block
+	for _, b := range g.Blocks {
+		if indeg[b.ID] == 0 {
+			queue = append(queue, b)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		b := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed++
+		for _, s := range b.Succs {
+			if !Dominates(idom, s, b) {
+				if indeg[s.ID]--; indeg[s.ID] == 0 {
+					queue = append(queue, s)
+				}
+			}
+		}
+	}
+	return removed == len(g.Blocks)
+}

@@ -1,0 +1,180 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MakeReducible turns an irreducible graph into a reducible one by node
+// splitting (Cocke/Miller [CM69], cited by paper §3.3): while some
+// strongly connected region has multiple entry nodes, one secondary
+// entry is duplicated — one copy per extra incoming edge — until every
+// cycle is entered through a unique header. Statements are shared
+// (pointers), so duplicated blocks execute the same code.
+//
+// Splitting can blow up exponentially in the worst case; limit bounds
+// the number of node splits (0 means 4× the original block count). The
+// mini-Fortran frontend never produces irreducible graphs, so this pass
+// exists for hand-built graphs and for completeness of the framework.
+func (g *Graph) MakeReducible(limit int) error {
+	if limit == 0 {
+		limit = 4 * len(g.Blocks)
+	}
+	splits := 0
+	for !g.Reducible() {
+		all := map[*Block]bool{}
+		for _, b := range g.Blocks {
+			all[b] = true
+		}
+		target, outside := g.findSplitCandidate(all)
+		if target == nil {
+			return fmt.Errorf("cfg: MakeReducible: no candidate found on irreducible graph")
+		}
+		if splits++; splits > limit {
+			return fmt.Errorf("cfg: MakeReducible: split limit %d exceeded", limit)
+		}
+		g.splitNode(target, outside)
+	}
+	return nil
+}
+
+// findSplitCandidate looks for a multiple-entry strongly connected
+// region within the subset: its cheapest secondary entry (fewest
+// predecessors) is the node to duplicate. Single-entry regions recurse
+// with their entry removed, so nested irreducible loops are found too.
+func (g *Graph) findSplitCandidate(subset map[*Block]bool) (*Block, []*Block) {
+	for _, comp := range g.sccsOf(subset) {
+		if len(comp) < 2 {
+			continue
+		}
+		inComp := map[*Block]bool{}
+		for _, b := range comp {
+			inComp[b] = true
+		}
+		var entries []*Block
+		seen := map[*Block]bool{}
+		for _, b := range comp {
+			for _, p := range b.Preds {
+				if !inComp[p] && !seen[b] {
+					seen[b] = true
+					entries = append(entries, b)
+				}
+			}
+		}
+		switch {
+		case len(entries) >= 2:
+			// split the entry with the fewest outside predecessors and
+			// keep the busiest one as the region's eventual header
+			sort.Slice(entries, func(i, j int) bool {
+				oi, oj := outsideCount(entries[i], inComp), outsideCount(entries[j], inComp)
+				if oi != oj {
+					return oi < oj
+				}
+				return entries[i].ID < entries[j].ID
+			})
+			target := entries[0]
+			var outside []*Block
+			for _, p := range target.Preds {
+				if !inComp[p] {
+					outside = append(outside, p)
+				}
+			}
+			return target, outside
+		case len(entries) == 1:
+			// natural loop at this level; look inside it
+			inner := map[*Block]bool{}
+			for _, b := range comp {
+				if b != entries[0] {
+					inner[b] = true
+				}
+			}
+			if c, o := g.findSplitCandidate(inner); c != nil {
+				return c, o
+			}
+		}
+	}
+	return nil, nil
+}
+
+func outsideCount(b *Block, inComp map[*Block]bool) int {
+	n := 0
+	for _, p := range b.Preds {
+		if !inComp[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// splitNode makes one copy of n that takes over the predecessors outside
+// n's strongly connected region (outside), sharing n's statement and
+// successor edges; the original keeps the inside predecessors and thus
+// stops being an entry of the region. One split removes one secondary
+// entry, which converges much faster than per-predecessor duplication.
+func (g *Graph) splitNode(n *Block, outside []*Block) {
+	succs := append([]*Block(nil), n.Succs...)
+	dup := g.NewBlock(n.Kind)
+	dup.Stmt, dup.Loop, dup.Cond, dup.LabelName = n.Stmt, n.Loop, n.Cond, n.LabelName
+	for _, p := range outside {
+		replaceSucc(p, n, dup)
+		removeFrom(&n.Preds, p)
+		dup.Preds = append(dup.Preds, p)
+	}
+	for _, s := range succs {
+		g.AddEdge(dup, s)
+	}
+}
+
+// sccsOf returns the strongly connected components of the subgraph
+// induced by subset (Tarjan's algorithm).
+func (g *Graph) sccsOf(subset map[*Block]bool) [][]*Block {
+	index := map[*Block]int{}
+	low := map[*Block]int{}
+	onStack := map[*Block]bool{}
+	var stack []*Block
+	var out [][]*Block
+	counter := 0
+
+	var strong func(b *Block)
+	strong = func(b *Block) {
+		index[b] = counter
+		low[b] = counter
+		counter++
+		stack = append(stack, b)
+		onStack[b] = true
+		for _, s := range b.Succs {
+			if !subset[s] {
+				continue
+			}
+			if _, seen := index[s]; !seen {
+				strong(s)
+				if low[s] < low[b] {
+					low[b] = low[s]
+				}
+			} else if onStack[s] && index[s] < low[b] {
+				low[b] = index[s]
+			}
+		}
+		if low[b] == index[b] {
+			var comp []*Block
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp = append(comp, top)
+				if top == b {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, b := range g.Blocks {
+		if subset[b] {
+			if _, seen := index[b]; !seen {
+				strong(b)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"givetake/internal/ir"
+)
+
+// NaiveAnnotate implements the strawman placement of Figure 2's left
+// side: every reference to a distributed array fetches exactly its
+// element right where it occurs, and every definition writes its element
+// back immediately. No vectorization, no hoisting, no latency hiding —
+// on a loop over N elements this issues N messages where GIVE-N-TAKE
+// issues one. Options select reads/writes and splitting, mirroring
+// Annotate so comparisons stay apples-to-apples.
+func NaiveAnnotate(prog *ir.Program, opt Options) *ir.Program {
+	out := ir.NewProgram(prog.Name)
+	for _, d := range prog.Decls {
+		out.Declare(d)
+	}
+	n := &naive{prog: prog, opt: opt}
+	out.Body = n.rebuild(prog.Body)
+	return out
+}
+
+type naive struct {
+	prog *ir.Program
+	opt  Options
+}
+
+func (n *naive) comm(op string, arg ir.Expr) []ir.Stmt {
+	if op == "READ" && !n.opt.Reads || op == "WRITE" && !n.opt.Writes {
+		return nil
+	}
+	mk := func(half string) ir.Stmt {
+		return &ir.Comm{Op: op, Half: half, Args: []ir.Expr{ir.CloneExpr(arg)}}
+	}
+	if n.opt.Split {
+		return []ir.Stmt{mk("Send"), mk("Recv")}
+	}
+	return []ir.Stmt{mk("")}
+}
+
+// distRefs returns the distributed-array references in e, outermost
+// first.
+func (n *naive) distRefs(e ir.Expr) []*ir.ArrayRef {
+	var out []*ir.ArrayRef
+	for _, ref := range ir.ArrayRefs(e) {
+		if n.prog.Distributed(ref.Name) {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+func (n *naive) rebuild(stmts []ir.Stmt) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Assign:
+			var pre, post []ir.Stmt
+			for _, ref := range n.distRefs(s.RHS) {
+				pre = append(pre, n.comm("READ", ref)...)
+			}
+			if lhs, ok := s.LHS.(*ir.ArrayRef); ok {
+				for _, sub := range lhs.Subs {
+					for _, ref := range n.distRefs(sub) {
+						pre = append(pre, n.comm("READ", ref)...)
+					}
+				}
+				if n.prog.Distributed(lhs.Name) {
+					post = append(post, n.comm("WRITE", lhs)...)
+				}
+			}
+			group := append(pre, s)
+			group = append(group, post...)
+			if s.Label() != "" && len(pre) > 0 {
+				// keep the label on the first emitted statement
+				group[0].SetLabel(s.Label())
+				c := *s
+				c.SetLabel("")
+				group[len(pre)] = &c
+			}
+			out = append(out, group...)
+		case *ir.Do:
+			var pre []ir.Stmt
+			for _, b := range []ir.Expr{s.Lo, s.Hi, s.Step} {
+				if b != nil {
+					for _, ref := range n.distRefs(b) {
+						pre = append(pre, n.comm("READ", ref)...)
+					}
+				}
+			}
+			d := &ir.Do{Var: s.Var, Lo: s.Lo, Hi: s.Hi, Step: s.Step, Body: n.rebuild(s.Body)}
+			d.SetLabel(s.Label())
+			out = append(out, append(pre, d)...)
+		case *ir.If:
+			var pre []ir.Stmt
+			for _, ref := range n.distRefs(s.Cond) {
+				pre = append(pre, n.comm("READ", ref)...)
+			}
+			f := ir.NewIf(s.Pos(), s.Cond, n.rebuild(s.Then), n.rebuild(s.Else))
+			f.SetLabel(s.Label())
+			out = append(out, append(pre, f)...)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}

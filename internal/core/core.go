@@ -1,0 +1,484 @@
+// Package core implements the GIVE-N-TAKE balanced code placement
+// framework of von Hanxleden and Kennedy (PLDI '94): given per-node
+// consumption (TAKE_init), destruction (STEAL_init), and free production
+// (GIVE_init) over a finite item universe, it computes where production
+// must be placed so that
+//
+//	(C1) balance:     the EAGER and LAZY solutions match — along every
+//	                  path each production is started and stopped once;
+//	(C2) safety:      everything produced is consumed (zero-trip loops
+//	                  excepted, unless hoisting is suppressed);
+//	(C3) sufficiency: every consumer is preceded by a production on all
+//	                  incoming paths with no destruction in between;
+//
+// while producing as little and as rarely as possible (O1–O3'). The
+// solver evaluates the fifteen dataflow equations of the paper's
+// Figure 13 exactly once per node over a Tarjan interval flow graph,
+// following the pass structure of Figure 15, for a total of O(E)
+// bit-vector steps.
+//
+// BEFORE problems (production precedes consumption, e.g. READ messages,
+// prefetches, classical PRE) run on the interval graph as built; AFTER
+// problems (production follows consumption, e.g. WRITE-backs) run on the
+// interval.Reverse view, with entry/exit meanings swapped.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"givetake/internal/bitset"
+	"givetake/internal/interval"
+)
+
+// Mode selects the production schedule of a solution.
+type Mode int
+
+const (
+	// Eager places production as early as possible — for a BEFORE
+	// problem, the send side of a communication (criterion O3).
+	Eager Mode = iota
+	// Lazy places production as late as possible — for a BEFORE problem,
+	// the receive side (criterion O3').
+	Lazy
+)
+
+func (m Mode) String() string {
+	if m == Eager {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// Init supplies the initial dataflow variables (paper §4.1), indexed by
+// interval node ID. Nil slices and nil entries mean the empty set.
+type Init struct {
+	// Take holds TAKE_init(n): the consumers at n.
+	Take []*bitset.Set
+	// Steal holds STEAL_init(n): items whose production is voided at n.
+	Steal []*bitset.Set
+	// Give holds GIVE_init(n): items produced at n "for free" as a side
+	// effect (they satisfy later consumers without generated code).
+	Give []*bitset.Set
+}
+
+// NewInit returns an Init with empty sets for a graph of n nodes.
+func NewInit(n int) *Init {
+	return &Init{
+		Take:  make([]*bitset.Set, n),
+		Steal: make([]*bitset.Set, n),
+		Give:  make([]*bitset.Set, n),
+	}
+}
+
+// add unions items into slot i of dst, allocating on demand.
+func (in *Init) add(dst []*bitset.Set, i, universe int, items *bitset.Set) {
+	if dst[i] == nil {
+		dst[i] = bitset.New(universe)
+	}
+	dst[i].UnionWith(items)
+}
+
+// AddTake unions items into TAKE_init(n).
+func (in *Init) AddTake(n *interval.Node, universe int, items *bitset.Set) {
+	in.add(in.Take, n.ID, universe, items)
+}
+
+// AddSteal unions items into STEAL_init(n).
+func (in *Init) AddSteal(n *interval.Node, universe int, items *bitset.Set) {
+	in.add(in.Steal, n.ID, universe, items)
+}
+
+// AddGive unions items into GIVE_init(n).
+func (in *Init) AddGive(n *interval.Node, universe int, items *bitset.Set) {
+	in.add(in.Give, n.ID, universe, items)
+}
+
+// Placement holds the §4.4–4.5 variables of one mode.
+type Placement struct {
+	GivenIn  []*bitset.Set // GIVEN_in(n), availability at node entry
+	Given    []*bitset.Set // GIVEN(n), availability at the node itself
+	GivenOut []*bitset.Set // GIVEN_out(n), availability at node exit
+	ResIn    []*bitset.Set // RES_in(n), production generated at node entry
+	ResOut   []*bitset.Set // RES_out(n), production generated at node exit
+}
+
+// Solution carries every dataflow variable of a solved problem. The
+// variables shared between modes (§4.2–4.3, sets S1 and S2) appear once;
+// the placement variables (§4.4–4.5) appear per mode.
+type Solution struct {
+	Graph    *interval.Graph
+	Universe int
+
+	// S1 variables (Eqs. 1–8), indexed by node ID.
+	Steal, Give, Block      []*bitset.Set
+	TakenOut, Take, TakenIn []*bitset.Set
+	BlockLoc, TakeLoc       []*bitset.Set
+	// S2 variables (Eqs. 9–10).
+	GiveLoc, StealLoc []*bitset.Set
+
+	// Eager and Lazy placements (Eqs. 11–15).
+	Eager, Lazy Placement
+
+	// EquationEvals counts individual equation evaluations, for the
+	// O(E) complexity experiment.
+	EquationEvals int
+}
+
+// Place returns the placement of the given mode.
+func (s *Solution) Place(m Mode) *Placement {
+	if m == Eager {
+		return &s.Eager
+	}
+	return &s.Lazy
+}
+
+// Solve runs the GiveNTake algorithm (paper Fig. 15) on g. Each equation
+// is evaluated exactly once per node, so the work is O(E) bit-vector
+// operations. Init slices must be indexed by node ID; missing entries
+// are empty sets. Zero-trip hoisting is suppressed for nodes whose
+// NoHoist flag is set (§4.1, §5.3).
+func Solve(g *interval.Graph, universe int, init *Init) *Solution {
+	n := len(g.Nodes)
+	s := &Solution{Graph: g, Universe: universe}
+	// one slab per variable keeps the per-node sets contiguous and the
+	// allocation count independent of graph size
+	alloc := func() []*bitset.Set {
+		return bitset.NewSlice(n, universe)
+	}
+	s.Steal, s.Give, s.Block = alloc(), alloc(), alloc()
+	s.TakenOut, s.Take, s.TakenIn = alloc(), alloc(), alloc()
+	s.BlockLoc, s.TakeLoc = alloc(), alloc()
+	s.GiveLoc, s.StealLoc = alloc(), alloc()
+	for _, p := range []*Placement{&s.Eager, &s.Lazy} {
+		p.GivenIn, p.Given, p.GivenOut = alloc(), alloc(), alloc()
+		p.ResIn, p.ResOut = alloc(), alloc()
+	}
+
+	initSet := func(v []*bitset.Set, id int) *bitset.Set {
+		if v == nil || v[id] == nil {
+			return nil
+		}
+		return v[id]
+	}
+
+	// ----- Pass 1: S1 (Eqs. 1–8) in REVERSEPREORDER, with S2 (Eqs. 9–10)
+	// for each header's children, in FORWARD order, evaluated first
+	// (Fig. 15). ROOT is processed implicitly at the end: its S1
+	// variables are never read, but its children still need S2.
+	pre := g.Preorder
+	for i := len(pre) - 1; i >= 0; i-- {
+		nd := pre[i]
+		if nd.IsHeader {
+			for _, c := range nd.Children {
+				s.eq9_10(c)
+			}
+		}
+		s.eq1_8(nd, init, initSet)
+	}
+	for _, c := range g.Root.Children {
+		s.eq9_10(c)
+	}
+
+	// ----- Pass 2: S3 (Eqs. 11–13) in PREORDER, per mode.
+	for _, nd := range pre {
+		s.eq11_13(nd, Eager)
+		s.eq11_13(nd, Lazy)
+	}
+
+	// ----- Pass 3: S4 (Eqs. 14–15), any order.
+	for _, nd := range pre {
+		s.eq14_15(nd, Eager)
+		s.eq14_15(nd, Lazy)
+	}
+	return s
+}
+
+// eq1_8 evaluates the consumption-propagation set S1 at node n.
+func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Set, int) *bitset.Set) {
+	id := n.ID
+	s.EquationEvals += 8
+
+	// Eq. 1: STEAL(n) = STEAL_init(n) ∪ STEAL_loc(LASTCHILD(n))
+	if v := initSet(init.Steal, id); v != nil {
+		s.Steal[id].UnionWith(v)
+	}
+	if n.LastChild != nil {
+		s.Steal[id].UnionWith(s.StealLoc[n.LastChild.ID])
+	}
+
+	// NoHoist (§4.1, §5.3): suppressing the zero-trip hoist by dropping
+	// Eq. 5's loop terms alone is unbalanced — the eager schedule would
+	// keep availability across the loop while the lazy schedule can lose
+	// it at an in-loop merge and stop a production it never started. The
+	// paper's STEAL_init option is the balanced one: a NoHoist loop
+	// steals everything its body may consume (the TAKE_loc summary of
+	// its entry successors), so availability of those items dies at the
+	// loop for both schedules and production is re-placed after it.
+	if n.NoHoist {
+		for _, e := range n.Out {
+			if e.Type == interval.Entry {
+				s.Steal[id].UnionWith(s.TakeLoc[e.To.ID])
+			}
+		}
+	}
+
+	// Eq. 2: GIVE(n) = GIVE_init(n) ∪ GIVE_loc(LASTCHILD(n))
+	if v := initSet(init.Give, id); v != nil {
+		s.Give[id].UnionWith(v)
+	}
+	if n.LastChild != nil {
+		s.Give[id].UnionWith(s.GiveLoc[n.LastChild.ID])
+	}
+
+	// Eq. 3: BLOCK(n) = STEAL(n) ∪ GIVE(n) ∪ ⋃_{s∈SUCCS^E} BLOCK_loc(s)
+	s.Block[id].UnionWith(s.Steal[id])
+	s.Block[id].UnionWith(s.Give[id])
+	for _, e := range n.Out {
+		if e.Type == interval.Entry {
+			s.Block[id].UnionWith(s.BlockLoc[e.To.ID])
+		}
+	}
+
+	// Eq. 4: TAKEN_out(n) = ⋂_{s∈SUCCS^FJS} TAKEN_in(s); empty ⇒ ⊥
+	first := true
+	for _, e := range n.Out {
+		if !interval.FJS.Has(e.Type) {
+			continue
+		}
+		if first {
+			s.TakenOut[id].Copy(s.TakenIn[e.To.ID])
+			first = false
+		} else {
+			s.TakenOut[id].IntersectWith(s.TakenIn[e.To.ID])
+		}
+	}
+
+	// Eq. 5: TAKE(n) = TAKE_init(n)
+	//                ∪ (⋃_{s∈SUCCS^E} TAKEN_in(s) − STEAL(n))
+	//                ∪ ((TAKEN_out(n) ∩ ⋃_{s∈SUCCS^E} TAKE_loc(s)) − BLOCK(n))
+	// The second term hoists consumption that is guaranteed inside the
+	// loop to the header — the zero-trip hoist; the third term hoists
+	// consumption that *may* happen inside if it is guaranteed after the
+	// loop anyway. NoHoist headers skip both (§4.1, §5.3).
+	take := s.Take[id]
+	if v := initSet(init.Take, id); v != nil {
+		take.UnionWith(v)
+	}
+	if !n.NoHoist {
+		guaranteed := bitset.New(s.Universe)
+		may := bitset.New(s.Universe)
+		hasEntry := false
+		for _, e := range n.Out {
+			if e.Type == interval.Entry {
+				hasEntry = true
+				guaranteed.UnionWith(s.TakenIn[e.To.ID])
+				may.UnionWith(s.TakeLoc[e.To.ID])
+			}
+		}
+		if hasEntry {
+			guaranteed.SubtractWith(s.Steal[id])
+			take.UnionWith(guaranteed)
+			may.IntersectWith(s.TakenOut[id])
+			may.SubtractWith(s.Block[id])
+			take.UnionWith(may)
+		}
+	}
+
+	// Eq. 6: TAKEN_in(n) = TAKE(n) ∪ (TAKEN_out(n) − BLOCK(n))
+	s.TakenIn[id].Copy(s.TakenOut[id])
+	s.TakenIn[id].SubtractWith(s.Block[id])
+	s.TakenIn[id].UnionWith(take)
+
+	// Eq. 7: BLOCK_loc(n) = (BLOCK(n) ∪ ⋃_{s∈SUCCS^F} BLOCK_loc(s)) − TAKE(n)
+	s.BlockLoc[id].Copy(s.Block[id])
+	for _, e := range n.Out {
+		if e.Type == interval.Forward {
+			s.BlockLoc[id].UnionWith(s.BlockLoc[e.To.ID])
+		}
+	}
+	s.BlockLoc[id].SubtractWith(take)
+
+	// Eq. 8: TAKE_loc(n) = TAKE(n) ∪ (⋃_{s∈SUCCS^EF} TAKE_loc(s) − BLOCK(n))
+	acc := bitset.New(s.Universe)
+	for _, e := range n.Out {
+		if interval.EF.Has(e.Type) {
+			acc.UnionWith(s.TakeLoc[e.To.ID])
+		}
+	}
+	acc.SubtractWith(s.Block[id])
+	acc.UnionWith(take)
+	s.TakeLoc[id].Copy(acc)
+}
+
+// eq9_10 evaluates the interval-summary set S2 at node n. On reversed
+// graphs, Jump predecessors point into the interval from outside (the
+// §5.3 irreducibility case); their summaries are not available yet in
+// pass order, so they are treated conservatively: they contribute ⊥ to
+// the GIVE_loc intersection and ⊤ to STEAL_loc.
+func (s *Solution) eq9_10(n *interval.Node) {
+	id := n.ID
+	s.EquationEvals += 2
+	invertedJump := func(e interval.Edge) bool {
+		return e.Type == interval.Jump && e.From.Level < e.To.Level
+	}
+
+	// Eq. 9: GIVE_loc(n) = (GIVE(n) ∪ TAKE(n) ∪ ⋂_{p∈PREDS^FJ} GIVE_loc(p)) − STEAL(n)
+	meet := (*bitset.Set)(nil)
+	bottomed := false
+	for _, e := range n.In {
+		if !interval.FJ.Has(e.Type) {
+			continue
+		}
+		if invertedJump(e) {
+			bottomed = true // unknown predecessor summary ⇒ assume ⊥
+			continue
+		}
+		if meet == nil {
+			meet = s.GiveLoc[e.From.ID].Clone()
+		} else {
+			meet.IntersectWith(s.GiveLoc[e.From.ID])
+		}
+	}
+	gl := s.GiveLoc[id]
+	gl.UnionWith(s.Give[id])
+	gl.UnionWith(s.Take[id])
+	if meet != nil && !bottomed {
+		gl.UnionWith(meet)
+	}
+	gl.SubtractWith(s.Steal[id])
+
+	// Eq. 10: STEAL_loc(n) = STEAL(n)
+	//                      ∪ ⋃_{p∈PREDS^FJ} (STEAL_loc(p) − GIVE_loc(p))
+	//                      ∪ ⋃_{p∈PREDS^S} STEAL_loc(p)
+	sl := s.StealLoc[id]
+	sl.UnionWith(s.Steal[id])
+	for _, e := range n.In {
+		switch {
+		case interval.FJ.Has(e.Type):
+			if invertedJump(e) {
+				sl.Fill() // unknown predecessor summary ⇒ assume ⊤
+				continue
+			}
+			d := s.StealLoc[e.From.ID].Clone()
+			d.SubtractWith(s.GiveLoc[e.From.ID])
+			sl.UnionWith(d)
+		case e.Type == interval.Synthetic:
+			// p is the header of an interval enclosing the source of a
+			// jump; the interval may be left half-done, so resupplies
+			// (GIVE_loc) cannot be trusted and are not subtracted.
+			sl.UnionWith(s.StealLoc[e.From.ID])
+		}
+	}
+}
+
+// eq11_13 evaluates the production-placing set S3 at node n for mode m.
+func (s *Solution) eq11_13(n *interval.Node, m Mode) {
+	id := n.ID
+	s.EquationEvals += 3
+	p := s.Place(m)
+
+	// Eq. 11: GIVEN_in(n) = (GIVEN(HEADER(n)) − STEAL(HEADER(n)))
+	//                     ∪ ⋂_{p∈PREDS^FJ} GIVEN_out(p)
+	//                     ∪ (TAKEN_in(n) ∩ ⋃_{q∈PREDS^FJ} GIVEN_out(q))
+	//
+	// The paper's Figure 13 states the first term as GIVEN(HEADER(n))
+	// alone, but that is not iteration-invariant: availability
+	// established before the loop can be destroyed by one iteration and
+	// then wrongly inherited by the next (steal on one body path,
+	// consumer on another — the consumer starves with no production
+	// anywhere; our path oracle finds such counterexamples). Subtracting
+	// the header's STEAL — the body's may-steal summary (Eq. 1) —
+	// restores soundness; the remaining GIVEN(h) components are already
+	// steal-filtered, and all §4 worked-example values are unchanged.
+	gin := p.GivenIn[id]
+	if h := n.EntryHeader; h != nil {
+		inherit := p.Given[h.ID].Clone()
+		inherit.SubtractWith(s.Steal[h.ID])
+		gin.UnionWith(inherit)
+	}
+	var meet, join *bitset.Set
+	for _, e := range n.In {
+		if !interval.FJ.Has(e.Type) {
+			continue
+		}
+		out := p.GivenOut[e.From.ID]
+		if meet == nil {
+			meet = out.Clone()
+			join = out.Clone()
+		} else {
+			meet.IntersectWith(out)
+			join.UnionWith(out)
+		}
+	}
+	if meet != nil {
+		gin.UnionWith(meet)
+		join.IntersectWith(s.TakenIn[id])
+		gin.UnionWith(join)
+	}
+
+	// Eq. 12: GIVEN(n) = GIVEN_in(n) ∪ TAKEN_in(n)   (EAGER)
+	//                  = GIVEN_in(n) ∪ TAKE(n)       (LAZY)
+	p.Given[id].Copy(gin)
+	if m == Eager {
+		p.Given[id].UnionWith(s.TakenIn[id])
+	} else {
+		p.Given[id].UnionWith(s.Take[id])
+	}
+
+	// Eq. 13: GIVEN_out(n) = (GIVE(n) ∪ GIVEN(n)) − STEAL(n)
+	p.GivenOut[id].Copy(p.Given[id])
+	p.GivenOut[id].UnionWith(s.Give[id])
+	p.GivenOut[id].SubtractWith(s.Steal[id])
+}
+
+// eq14_15 evaluates the result set S4 at node n for mode m.
+func (s *Solution) eq14_15(n *interval.Node, m Mode) {
+	id := n.ID
+	s.EquationEvals += 2
+	p := s.Place(m)
+
+	// Eq. 14: RES_in(n) = GIVEN(n) − GIVEN_in(n)
+	p.ResIn[id].Copy(p.Given[id])
+	p.ResIn[id].SubtractWith(p.GivenIn[id])
+
+	// Eq. 15: RES_out(n) = ⋃_{s∈SUCCS^FJ} GIVEN_in(s) − GIVEN_out(n)
+	for _, e := range n.Out {
+		if interval.FJ.Has(e.Type) {
+			p.ResOut[id].UnionWith(p.GivenIn[e.To.ID])
+		}
+	}
+	p.ResOut[id].SubtractWith(p.GivenOut[id])
+}
+
+// Dump renders every dataflow variable for debugging, using name(i) for
+// item names.
+func (s *Solution) Dump(name func(int) string) string {
+	var sb strings.Builder
+	row := func(label string, v []*bitset.Set) {
+		fmt.Fprintf(&sb, "%-14s", label)
+		for _, n := range s.Graph.Preorder {
+			fmt.Fprintf(&sb, " %d:%s", n.Pre+1, v[n.ID].StringWith(name))
+		}
+		sb.WriteByte('\n')
+	}
+	row("STEAL", s.Steal)
+	row("GIVE", s.Give)
+	row("BLOCK", s.Block)
+	row("TAKEN_out", s.TakenOut)
+	row("TAKE", s.Take)
+	row("TAKEN_in", s.TakenIn)
+	row("BLOCK_loc", s.BlockLoc)
+	row("TAKE_loc", s.TakeLoc)
+	row("GIVE_loc", s.GiveLoc)
+	row("STEAL_loc", s.StealLoc)
+	for _, m := range []Mode{Eager, Lazy} {
+		p := s.Place(m)
+		row("GIVEN_in/"+m.String(), p.GivenIn)
+		row("GIVEN/"+m.String(), p.Given)
+		row("GIVEN_out/"+m.String(), p.GivenOut)
+		row("RES_in/"+m.String(), p.ResIn)
+		row("RES_out/"+m.String(), p.ResOut)
+	}
+	return sb.String()
+}

@@ -1,0 +1,116 @@
+package frontend
+
+import (
+	"fmt"
+
+	"givetake/internal/ir"
+)
+
+// Check enforces the structural restrictions that keep the control flow
+// graph reducible and the interval flow graph well formed (paper §3.3),
+// mirroring Fortran 77's branching rules:
+//
+//   - statement labels are unique;
+//   - every GOTO target exists;
+//   - GOTOs jump strictly forward in source order (no source-level loops
+//     other than DO);
+//   - a GOTO may leave DO loops and IF blocks but never enter one: the
+//     target's enclosing scope chain (loops and IF arms) must be a
+//     prefix of the GOTO's chain.
+//
+// With these rules every cycle in the CFG is a DO loop with a unique
+// header, so the graph is reducible by construction, each loop has a
+// single CYCLE edge, and no branch lands in the middle of a block it
+// did not start in.
+func Check(prog *ir.Program) error {
+	c := &checker{
+		order:  map[string]int{},
+		scopes: map[string][]scope{},
+		labels: map[string]ir.Pos{},
+	}
+	c.collect(prog.Body, nil)
+	if c.err != nil {
+		return c.err
+	}
+	c.n = 0
+	c.walkVerify(prog.Body, nil)
+	return c.err
+}
+
+// scope identifies one enclosing construct: a DO loop or one arm of an
+// IF statement.
+type scope struct {
+	stmt ir.Stmt
+	arm  int // 0 for DO bodies and then-arms, 1 for else-arms
+}
+
+type checker struct {
+	n      int
+	order  map[string]int     // label -> source order index
+	scopes map[string][]scope // label -> enclosing scope chain (outermost first)
+	labels map[string]ir.Pos
+	err    error
+}
+
+func (c *checker) fail(pos ir.Pos, format string, args ...any) {
+	if c.err == nil {
+		c.err = &Error{pos, fmt.Sprintf(format, args...)}
+	}
+}
+
+// collect numbers all statements in source order and records label sites.
+func (c *checker) collect(stmts []ir.Stmt, encl []scope) {
+	for _, s := range stmts {
+		c.n++
+		if l := s.Label(); l != "" {
+			if prev, dup := c.labels[l]; dup {
+				c.fail(s.Pos(), "duplicate label %s (previously at %s)", l, prev)
+			}
+			c.labels[l] = s.Pos()
+			c.order[l] = c.n
+			c.scopes[l] = append([]scope(nil), encl...)
+		}
+		switch s := s.(type) {
+		case *ir.Do:
+			c.collect(s.Body, append(encl, scope{s, 0}))
+		case *ir.If:
+			c.collect(s.Then, append(encl, scope{s, 0}))
+			c.collect(s.Else, append(encl, scope{s, 1}))
+		}
+	}
+}
+
+func (c *checker) walkVerify(stmts []ir.Stmt, encl []scope) {
+	for _, s := range stmts {
+		c.n++
+		here := c.n
+		switch s := s.(type) {
+		case *ir.Goto:
+			tgt, ok := c.order[s.Target]
+			if !ok {
+				c.fail(s.Pos(), "goto %s: undefined label", s.Target)
+				continue
+			}
+			if tgt <= here {
+				c.fail(s.Pos(), "goto %s: backward jumps are not supported (only DO loops may form cycles)", s.Target)
+				continue
+			}
+			tgtScopes := c.scopes[s.Target]
+			if len(tgtScopes) > len(encl) {
+				c.fail(s.Pos(), "goto %s: jump into a DO loop or IF block is not allowed", s.Target)
+				continue
+			}
+			for i, sc := range tgtScopes {
+				if encl[i] != sc {
+					c.fail(s.Pos(), "goto %s: jump into a DO loop or IF block is not allowed", s.Target)
+					break
+				}
+			}
+		case *ir.Do:
+			c.walkVerify(s.Body, append(encl, scope{s, 0}))
+		case *ir.If:
+			c.walkVerify(s.Then, append(encl, scope{s, 0}))
+			c.walkVerify(s.Else, append(encl, scope{s, 1}))
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package frontend lexes and parses the mini-Fortran dialect used by the
+// GIVE-N-TAKE paper's figures and checks the structural restrictions the
+// interval flow graph relies on (forward, loop-exiting GOTOs only).
+package frontend
+
+import (
+	"fmt"
+	"strings"
+
+	"givetake/internal/ir"
+)
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokNewline
+	TokIdent
+	TokInt
+	TokEllipsis // ...
+	TokLParen
+	TokRParen
+	TokComma
+	TokColon
+	TokAssign // =
+	TokOp     // + - * / < <= > >= == != .and. .or. .not.
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokNewline:
+		return "newline"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokEllipsis:
+		return "'...'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokColon:
+		return "':'"
+	case TokAssign:
+		return "'='"
+	case TokOp:
+		return "operator"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  ir.Pos
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a frontend diagnostic with a source position.
+type Error struct {
+	Pos ir.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// dotOps maps Fortran dot-operators to the canonical symbolic spelling.
+var dotOps = map[string]string{
+	".lt.": "<", ".le.": "<=", ".gt.": ">", ".ge.": ">=",
+	".eq.": "==", ".ne.": "!=", ".and.": ".and.", ".or.": ".or.", ".not.": ".not.",
+}
+
+// Lex splits src into tokens. Comments run from '!' to end of line.
+// Fortran is case-insensitive; identifiers are lowered.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	emit := func(k TokenKind, text string, startCol int) {
+		toks = append(toks, Token{Kind: k, Text: text, Pos: ir.Pos{Line: line, Col: startCol}})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emit(TokNewline, "", col)
+			line++
+			col = 1
+			i++
+		case c == ';':
+			emit(TokNewline, "", col)
+			i++
+			col++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(TokOp, "!=", col)
+				i += 2
+				col += 2
+				break
+			}
+			for i < len(src) && src[i] != '\n' {
+				i++
+				col++
+			}
+		case c >= '0' && c <= '9':
+			start, startCol := i, col
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+				col++
+			}
+			emit(TokInt, src[start:i], startCol)
+		case isIdentStart(c):
+			start, startCol := i, col
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+				col++
+			}
+			emit(TokIdent, strings.ToLower(src[start:i]), startCol)
+		case c == '.':
+			if strings.HasPrefix(src[i:], "...") {
+				emit(TokEllipsis, "...", col)
+				i += 3
+				col += 3
+				break
+			}
+			// dot operator like .lt.
+			end := strings.IndexByte(src[i+1:], '.')
+			if end >= 0 {
+				word := strings.ToLower(src[i : i+end+2])
+				if op, ok := dotOps[word]; ok {
+					emit(TokOp, op, col)
+					i += end + 2
+					col += end + 2
+					break
+				}
+			}
+			return nil, &Error{ir.Pos{Line: line, Col: col}, "unexpected '.'"}
+		default:
+			startCol := col
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "<=" || two == ">=" || two == "==" || two == "!=" || two == "/=":
+				op := two
+				if op == "/=" {
+					op = "!="
+				}
+				emit(TokOp, op, startCol)
+				i += 2
+				col += 2
+			case c == '(':
+				emit(TokLParen, "(", startCol)
+				i++
+				col++
+			case c == ')':
+				emit(TokRParen, ")", startCol)
+				i++
+				col++
+			case c == ',':
+				emit(TokComma, ",", startCol)
+				i++
+				col++
+			case c == ':':
+				emit(TokColon, ":", startCol)
+				i++
+				col++
+			case c == '=':
+				emit(TokAssign, "=", startCol)
+				i++
+				col++
+			case c == '+' || c == '-' || c == '*' || c == '/' || c == '<' || c == '>':
+				emit(TokOp, string(c), startCol)
+				i++
+				col++
+			default:
+				return nil, &Error{ir.Pos{Line: line, Col: col}, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: ir.Pos{Line: line, Col: col}})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

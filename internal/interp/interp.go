@@ -1,0 +1,447 @@
+// Package interp executes mini-Fortran programs, including programs
+// annotated with communication statements, and records a dynamic trace
+// of the communication events: how many messages were issued, how many
+// elements moved, and how far each Send ran ahead of its matching Recv
+// (the latency-hiding distance the GIVE-N-TAKE split placement creates).
+//
+// The interpreter stands in for the distributed-memory testbeds of the
+// paper era: the placement quality measures the paper argues about —
+// message counts, vectorization, overlap — are all observable from this
+// trace without modeling an actual network.
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"givetake/internal/ir"
+)
+
+// Config parameterizes one execution.
+type Config struct {
+	// N is the value of the symbolic bound n. Other preset scalars can
+	// be given in Scalars.
+	N       int64
+	Scalars map[string]int64
+	// Seed drives unknown branch conditions (like the paper's "test"):
+	// they evaluate to a deterministic pseudo-random boolean stream.
+	Seed int64
+	// MaxSteps bounds execution (default 10 million statements).
+	MaxSteps int64
+}
+
+// CommEvent is one executed communication statement.
+type CommEvent struct {
+	Op    string // "READ" or "WRITE"
+	Half  string // "Send", "Recv", or "" for atomic
+	Step  int64  // statement counter at execution time
+	Elems int64  // elements covered by the transferred sections
+	Args  string // rendered argument list, for matching sends to recvs
+}
+
+// Trace is the result of one execution.
+type Trace struct {
+	Steps  int64
+	Events []CommEvent
+}
+
+// Messages counts executed communication statements (vectorized
+// transfers count once), taking one half of split pairs.
+func (t *Trace) Messages() int64 {
+	var n int64
+	for _, e := range t.Events {
+		if e.Half == "Recv" {
+			continue // count the Send half of a split pair
+		}
+		n++
+	}
+	return n
+}
+
+// Volume sums the elements moved (Send halves and atomics).
+func (t *Trace) Volume() int64 {
+	var v int64
+	for _, e := range t.Events {
+		if e.Half == "Recv" {
+			continue
+		}
+		v += e.Elems
+	}
+	return v
+}
+
+// OverlapStats pairs each Recv with the most recent unmatched Send of
+// the same operation and argument list and reports the number of pairs
+// and the total and minimum step distances. Unsplit (atomic) events have
+// distance zero by definition.
+func (t *Trace) OverlapStats() (pairs int64, totalDist int64, minDist int64) {
+	type key struct{ op, args string }
+	pending := map[key][]int64{}
+	minDist = -1
+	for _, e := range t.Events {
+		k := key{e.Op, e.Args}
+		switch e.Half {
+		case "Send":
+			pending[k] = append(pending[k], e.Step)
+		case "Recv":
+			q := pending[k]
+			if len(q) == 0 {
+				continue // unmatched recv: balance violation, surfaced by tests
+			}
+			s := q[len(q)-1]
+			pending[k] = q[:len(q)-1]
+			d := e.Step - s
+			pairs++
+			totalDist += d
+			if minDist < 0 || d < minDist {
+				minDist = d
+			}
+		}
+	}
+	if minDist < 0 {
+		minDist = 0
+	}
+	return
+}
+
+// UnmatchedSplit reports the number of Sends without a Recv and vice
+// versa; both are zero for balanced placements (criterion C1).
+func (t *Trace) UnmatchedSplit() (sends, recvs int64) {
+	type key struct{ op, args string }
+	bal := map[key]int64{}
+	for _, e := range t.Events {
+		k := key{e.Op, e.Args}
+		switch e.Half {
+		case "Send":
+			bal[k]++
+		case "Recv":
+			bal[k]--
+		}
+	}
+	for _, v := range bal {
+		if v > 0 {
+			sends += v
+		} else {
+			recvs -= v
+		}
+	}
+	return
+}
+
+// Run executes the program and returns its trace.
+func Run(prog *ir.Program, cfg Config) (*Trace, error) {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 10_000_000
+	}
+	ex := &executor{
+		cfg:     cfg,
+		prog:    prog,
+		scalars: map[string]int64{},
+		arrays:  map[string][]int64{},
+		dims:    map[string][]int64{},
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		trace:   &Trace{},
+	}
+	ex.scalars["n"] = cfg.N
+	for k, v := range cfg.Scalars {
+		ex.scalars[k] = v
+	}
+	for _, d := range prog.Decls {
+		total := int64(1)
+		var dims []int64
+		for _, dim := range d.Dims {
+			size := ex.eval(dim)
+			if size < 1 {
+				size = 1
+			}
+			dims = append(dims, size)
+			total *= size + 1 // 1-based per dimension
+		}
+		if len(dims) == 0 {
+			dims, total = []int64{1}, 2
+		}
+		if total > 1<<24 {
+			return nil, fmt.Errorf("interp: array %s too large (%d)", d.Name, total)
+		}
+		ex.arrays[d.Name] = make([]int64, total)
+		ex.dims[d.Name] = dims
+	}
+	_, err := ex.exec(prog.Body)
+	if err != nil {
+		return nil, err
+	}
+	ex.trace.Steps = ex.steps
+	return ex.trace, nil
+}
+
+type executor struct {
+	cfg     Config
+	prog    *ir.Program
+	scalars map[string]int64
+	arrays  map[string][]int64
+	dims    map[string][]int64 // per-array dimension extents (1-based)
+	rng     *rand.Rand
+	trace   *Trace
+	steps   int64
+}
+
+// flatIndex linearizes a (1-based) multi-dimensional index; out-of-range
+// or rank-mismatched accesses yield -1.
+func (ex *executor) flatIndex(name string, subs []ir.Expr) int64 {
+	dims, ok := ex.dims[name]
+	if !ok || len(subs) != len(dims) {
+		return -1
+	}
+	idx := int64(0)
+	for d, sub := range subs {
+		v := ex.eval(sub)
+		if v < 0 || v > dims[d] {
+			return -1
+		}
+		idx = idx*(dims[d]+1) + v
+	}
+	return idx
+}
+
+// errStop signals step-budget exhaustion.
+var errStop = fmt.Errorf("interp: step budget exhausted")
+
+func (ex *executor) tick() error {
+	ex.steps++
+	if ex.steps > ex.cfg.MaxSteps {
+		return errStop
+	}
+	return nil
+}
+
+// exec runs a statement list; a non-empty label return means a GOTO to
+// that label is propagating outward until some list contains it.
+func (ex *executor) exec(stmts []ir.Stmt) (goLabel string, err error) {
+	for i := 0; i < len(stmts); i++ {
+		s := stmts[i]
+		label, err := ex.stmt(s)
+		if err != nil {
+			return "", err
+		}
+		if label == "" {
+			continue
+		}
+		// find the label among the following statements at this level
+		found := false
+		for j := i + 1; j < len(stmts); j++ {
+			if stmts[j].Label() == label {
+				i = j - 1
+				found = true
+				break
+			}
+		}
+		if !found {
+			// the frontend only admits forward gotos, so an unfound label
+			// lives further out; propagate
+			return label, nil
+		}
+	}
+	return "", nil
+}
+
+func (ex *executor) stmt(s ir.Stmt) (goLabel string, err error) {
+	if err := ex.tick(); err != nil {
+		return "", err
+	}
+	switch s := s.(type) {
+	case *ir.Assign:
+		v := ex.eval(s.RHS)
+		switch lhs := s.LHS.(type) {
+		case *ir.Ident:
+			ex.scalars[lhs.Name] = v
+		case *ir.ArrayRef:
+			if arr, ok := ex.arrays[lhs.Name]; ok {
+				if idx := ex.flatIndex(lhs.Name, lhs.Subs); idx >= 0 && idx < int64(len(arr)) {
+					arr[idx] = v
+				}
+			}
+		}
+		return "", nil
+	case *ir.Continue:
+		return "", nil
+	case *ir.Goto:
+		return s.Target, nil
+	case *ir.Do:
+		lo, hi := ex.eval(s.Lo), ex.eval(s.Hi)
+		step := int64(1)
+		if s.Step != nil {
+			if step = ex.eval(s.Step); step == 0 {
+				step = 1
+			}
+		}
+		for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
+			ex.scalars[s.Var] = v
+			label, err := ex.exec(s.Body)
+			if err != nil {
+				return "", err
+			}
+			if label != "" {
+				return label, nil // jump out of the loop
+			}
+			if err := ex.tick(); err != nil { // loop-control step
+				return "", err
+			}
+		}
+		return "", nil
+	case *ir.If:
+		if ex.truth(s.Cond) {
+			return ex.exec(s.Then)
+		}
+		return ex.exec(s.Else)
+	case *ir.Comm:
+		// Each section of a (possibly vectorized) communication statement
+		// is one message: the combined READ_Recv{x(...), y(...)} of
+		// Figure 14 completes two transfers whose sends were issued at
+		// different points, so sections are traced individually to pair
+		// sends with receives.
+		for _, a := range s.Args {
+			ex.trace.Events = append(ex.trace.Events, CommEvent{
+				Op: s.Op, Half: s.Half, Step: ex.steps,
+				Elems: ex.sectionElems(a), Args: ir.ExprString(a),
+			})
+		}
+		return "", nil
+	default:
+		return "", fmt.Errorf("interp: cannot execute %T", s)
+	}
+}
+
+// sectionElems counts the elements of a communicated section: a triplet
+// lo:hi:st covers (hi-lo)/st + 1 elements per dimension, dimensions
+// multiply, and a plain element reference covers one. Indirect sections
+// a(1:n) count the subscript range.
+func (ex *executor) sectionElems(e ir.Expr) int64 {
+	if ref, ok := e.(*ir.ArrayRef); ok && len(ref.Subs) >= 1 {
+		total := int64(1)
+		for _, sub := range ref.Subs {
+			total *= ex.rangeElems(sub)
+		}
+		return total
+	}
+	return 1
+}
+
+func (ex *executor) rangeElems(e ir.Expr) int64 {
+	switch e := e.(type) {
+	case *ir.RangeExpr:
+		lo, hi := ex.eval(e.Lo), ex.eval(e.Hi)
+		st := int64(1)
+		if e.Stride != nil {
+			if st = ex.eval(e.Stride); st <= 0 {
+				st = 1
+			}
+		}
+		if hi < lo {
+			return 0
+		}
+		return (hi-lo)/st + 1
+	case *ir.ArrayRef:
+		if len(e.Subs) == 1 {
+			return ex.rangeElems(e.Subs[0])
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// truth evaluates a condition; unknown scalars draw from the seeded
+// stream so "if test then" branches vary per execution but reproducibly.
+func (ex *executor) truth(e ir.Expr) bool {
+	switch e := e.(type) {
+	case *ir.BinExpr:
+		x, y := ex.eval(e.X), ex.eval(e.Y)
+		switch e.Op {
+		case "<":
+			return x < y
+		case "<=":
+			return x <= y
+		case ">":
+			return x > y
+		case ">=":
+			return x >= y
+		case "==":
+			return x == y
+		case "!=":
+			return x != y
+		case ".and.":
+			return ex.truth(e.X) && ex.truth(e.Y)
+		case ".or.":
+			return ex.truth(e.X) || ex.truth(e.Y)
+		}
+		return x != 0
+	case *ir.UnaryExpr:
+		if e.Op == ".not." {
+			return !ex.truth(e.X)
+		}
+		return ex.eval(e) != 0
+	case *ir.Ident:
+		if v, ok := ex.scalars[e.Name]; ok {
+			return v != 0
+		}
+		return ex.rng.Intn(2) == 0
+	case *ir.ArrayRef:
+		if _, known := ex.arrays[e.Name]; known {
+			return ex.eval(e) != 0
+		}
+		return ex.rng.Intn(2) == 0
+	default:
+		return ex.eval(e) != 0
+	}
+}
+
+func (ex *executor) eval(e ir.Expr) int64 {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *ir.IntLit:
+		return e.Value
+	case *ir.Ellipsis:
+		return 0
+	case *ir.Ident:
+		return ex.scalars[e.Name] // zero for unknowns
+	case *ir.UnaryExpr:
+		if e.Op == "-" {
+			return -ex.eval(e.X)
+		}
+		if ex.truth(e) {
+			return 1
+		}
+		return 0
+	case *ir.BinExpr:
+		switch e.Op {
+		case "+":
+			return ex.eval(e.X) + ex.eval(e.Y)
+		case "-":
+			return ex.eval(e.X) - ex.eval(e.Y)
+		case "*":
+			return ex.eval(e.X) * ex.eval(e.Y)
+		case "/":
+			if d := ex.eval(e.Y); d != 0 {
+				return ex.eval(e.X) / d
+			}
+			return 0
+		default:
+			if ex.truth(e) {
+				return 1
+			}
+			return 0
+		}
+	case *ir.ArrayRef:
+		if arr, ok := ex.arrays[e.Name]; ok {
+			if idx := ex.flatIndex(e.Name, e.Subs); idx >= 0 && idx < int64(len(arr)) {
+				return arr[idx]
+			}
+		}
+		return 0
+	case *ir.RangeExpr:
+		return ex.eval(e.Lo)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,299 @@
+package interp
+
+import (
+	"testing"
+
+	"givetake/internal/frontend"
+	"givetake/internal/ir"
+)
+
+func run(t *testing.T, src string, cfg Config) *Trace {
+	t.Helper()
+	prog, err := frontend.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestArithmeticAndLoops(t *testing.T) {
+	prog, err := frontend.Parse(`
+real a(100)
+s = 0
+do i = 1, 10
+    a(i) = i * 2
+    s = s + a(i)
+enddo
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &executor{cfg: Config{MaxSteps: 10000}, prog: prog,
+		scalars: map[string]int64{}, arrays: map[string][]int64{"a": make([]int64, 101)},
+		dims:  map[string][]int64{"a": {100}},
+		trace: &Trace{}}
+	if _, err := ex.exec(prog.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.scalars["s"]; got != 110 {
+		t.Fatalf("sum = %d, want 110", got)
+	}
+	if got := ex.arrays["a"][7]; got != 14 {
+		t.Fatalf("a(7) = %d, want 14", got)
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	tr := run(t, "s = 0\ndo i = 5, 1\n s = s + 1\nenddo", Config{N: 10})
+	// body never executes: 2 statements + no loop iterations... the DO
+	// header itself ticks once via the statement tick
+	if tr.Steps > 3 {
+		t.Fatalf("zero-trip loop executed work: %d steps", tr.Steps)
+	}
+}
+
+func TestGotoOutOfLoop(t *testing.T) {
+	prog, err := frontend.Parse(`
+s = 0
+do i = 1, 100
+    s = s + 1
+    if (i >= 3) goto 9
+enddo
+9 t = 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &executor{cfg: Config{MaxSteps: 10000}, prog: prog,
+		scalars: map[string]int64{}, arrays: map[string][]int64{},
+		dims: map[string][]int64{}, trace: &Trace{}}
+	if _, err := ex.exec(prog.Body); err != nil {
+		t.Fatal(err)
+	}
+	if ex.scalars["s"] != 3 || ex.scalars["t"] != 1 {
+		t.Fatalf("s=%d t=%d, want 3, 1", ex.scalars["s"], ex.scalars["t"])
+	}
+}
+
+func TestGotoWithinList(t *testing.T) {
+	prog, err := frontend.Parse(`
+s = 1
+goto 5
+s = 99
+5 t = s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &executor{cfg: Config{MaxSteps: 100}, prog: prog,
+		scalars: map[string]int64{}, arrays: map[string][]int64{},
+		dims: map[string][]int64{}, trace: &Trace{}}
+	if _, err := ex.exec(prog.Body); err != nil {
+		t.Fatal(err)
+	}
+	if ex.scalars["t"] != 1 {
+		t.Fatalf("t = %d, want 1 (skipping s = 99)", ex.scalars["t"])
+	}
+}
+
+func TestCommEventCounting(t *testing.T) {
+	src := `
+distributed x(100)
+do k = 1, n
+    READ_Send unsupported
+enddo
+`
+	_ = src // Comm statements cannot be parsed; build them directly:
+	prog := ir.NewProgram("t")
+	prog.Declare(&ir.ArrayDecl{Name: "x", Dims: []ir.Expr{&ir.IntLit{Value: 100}}, Dist: ir.Block})
+	section := &ir.ArrayRef{Name: "x", Subs: []ir.Expr{&ir.RangeExpr{
+		Lo: &ir.IntLit{Value: 1}, Hi: &ir.Ident{Name: "n"}}}}
+	send := &ir.Comm{Op: "READ", Half: "Send", Args: []ir.Expr{section}}
+	recv := &ir.Comm{Op: "READ", Half: "Recv", Args: []ir.Expr{ir.CloneExpr(section)}}
+	work := ir.NewDo(ir.Pos{}, "i", &ir.IntLit{Value: 1}, &ir.Ident{Name: "n"},
+		ir.NewAssign(ir.Pos{}, &ir.Ident{Name: "t"}, &ir.Ident{Name: "i"}))
+	prog.Body = []ir.Stmt{send, work, recv}
+
+	tr, err := Run(prog, Config{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Messages() != 1 {
+		t.Fatalf("messages = %d, want 1", tr.Messages())
+	}
+	if tr.Volume() != 8 {
+		t.Fatalf("volume = %d, want 8 (x(1:n) with n=8)", tr.Volume())
+	}
+	pairs, total, minDist := tr.OverlapStats()
+	if pairs != 1 {
+		t.Fatalf("pairs = %d, want 1", pairs)
+	}
+	if minDist <= 0 || total <= 0 {
+		t.Fatalf("send should run ahead of recv: total=%d min=%d", total, minDist)
+	}
+	if s, r := tr.UnmatchedSplit(); s != 0 || r != 0 {
+		t.Fatalf("unmatched: sends=%d recvs=%d", s, r)
+	}
+}
+
+func TestSeededConditionsDeterministic(t *testing.T) {
+	src := `
+s = 0
+do i = 1, 20
+    if test then
+        s = s + 1
+    endif
+enddo
+`
+	a := run(t, src, Config{N: 5, Seed: 7})
+	b := run(t, src, Config{N: 5, Seed: 7})
+	if a.Steps != b.Steps {
+		t.Fatal("same seed must give identical executions")
+	}
+	c := run(t, src, Config{N: 5, Seed: 8})
+	_ = c // different seed may differ; only determinism is required
+}
+
+func TestStepBudget(t *testing.T) {
+	prog, err := frontend.Parse("do i = 1, 1000000\n s = s + 1\nenddo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Config{N: 1, MaxSteps: 100}); err == nil {
+		t.Fatal("expected step-budget error")
+	}
+}
+
+func TestDivisionByZeroSafe(t *testing.T) {
+	tr := run(t, "s = 10 / z", Config{})
+	if tr.Steps != 1 {
+		t.Fatalf("steps = %d", tr.Steps)
+	}
+}
+
+func TestMultiDimArrays(t *testing.T) {
+	prog, err := frontend.Parse(`
+real m(10, 20)
+m(3, 4) = 7
+s = m(3, 4) + m(1, 1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// verify through a fresh executor so scalars are observable
+	ex := &executor{cfg: Config{MaxSteps: 100}, prog: prog,
+		scalars: map[string]int64{}, arrays: map[string][]int64{"m": make([]int64, 11*21)},
+		dims: map[string][]int64{"m": {10, 20}}, trace: &Trace{}}
+	if _, err := ex.exec(prog.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.scalars["s"]; got != 7 {
+		t.Fatalf("s = %d, want 7", got)
+	}
+	// distinct cells do not alias
+	if ex.arrays["m"][0] != 0 {
+		t.Fatal("cell (0,0) clobbered")
+	}
+}
+
+func TestMultiDimSectionElems(t *testing.T) {
+	ex := &executor{scalars: map[string]int64{"n": 4}, arrays: map[string][]int64{},
+		dims: map[string][]int64{}, trace: &Trace{}, cfg: Config{MaxSteps: 100}}
+	sec := &ir.ArrayRef{Name: "u", Subs: []ir.Expr{
+		&ir.RangeExpr{Lo: &ir.IntLit{Value: 1}, Hi: &ir.Ident{Name: "n"}},
+		&ir.RangeExpr{Lo: &ir.IntLit{Value: 2}, Hi: &ir.IntLit{Value: 4}},
+	}}
+	if got := ex.sectionElems(sec); got != 4*3 {
+		t.Fatalf("2-D section elems = %d, want 12", got)
+	}
+}
+
+func TestNegativeStepLoop(t *testing.T) {
+	prog, err := frontend.Parse("s = 0\ndo i = 10, 1, -2\n s = s + i\nenddo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &executor{cfg: Config{MaxSteps: 1000}, prog: prog,
+		scalars: map[string]int64{}, arrays: map[string][]int64{},
+		dims: map[string][]int64{}, trace: &Trace{}}
+	if _, err := ex.exec(prog.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.scalars["s"]; got != 10+8+6+4+2 {
+		t.Fatalf("s = %d, want 30", got)
+	}
+}
+
+func TestTruthOperators(t *testing.T) {
+	src := `
+s = 0
+if (1 < 2 .and. 3 >= 3) then
+    s = s + 1
+endif
+if (1 == 2 .or. 4 != 5) then
+    s = s + 10
+endif
+if (.not. (2 > 3)) then
+    s = s + 100
+endif
+if (2 <= 1) then
+    s = s + 1000
+endif
+`
+	prog, err := frontend.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &executor{cfg: Config{MaxSteps: 1000}, prog: prog,
+		scalars: map[string]int64{}, arrays: map[string][]int64{},
+		dims: map[string][]int64{}, trace: &Trace{}}
+	if _, err := ex.exec(prog.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.scalars["s"]; got != 111 {
+		t.Fatalf("s = %d, want 111", got)
+	}
+}
+
+func TestOverlapStatsUnmatchedRecv(t *testing.T) {
+	tr := &Trace{Events: []CommEvent{
+		{Op: "READ", Half: "Recv", Step: 5, Elems: 1, Args: "x(1)"},
+	}}
+	pairs, total, minDist := tr.OverlapStats()
+	if pairs != 0 || total != 0 || minDist != 0 {
+		t.Fatalf("unmatched recv should pair nothing: %d %d %d", pairs, total, minDist)
+	}
+	if s, r := tr.UnmatchedSplit(); s != 0 || r != 1 {
+		t.Fatalf("unmatched = %d sends %d recvs, want 0/1", s, r)
+	}
+}
+
+func TestVolumeCountsAtomics(t *testing.T) {
+	tr := &Trace{Events: []CommEvent{
+		{Op: "READ", Half: "", Step: 1, Elems: 7},
+		{Op: "WRITE", Half: "Send", Step: 2, Elems: 3},
+		{Op: "WRITE", Half: "Recv", Step: 3, Elems: 3},
+	}}
+	if tr.Messages() != 2 {
+		t.Fatalf("messages = %d, want 2 (atomic + send)", tr.Messages())
+	}
+	if tr.Volume() != 10 {
+		t.Fatalf("volume = %d, want 10", tr.Volume())
+	}
+}
+
+func TestOutOfBoundsAccessesAreSafe(t *testing.T) {
+	// out-of-range subscripts read as zero and write nowhere — the
+	// interpreter is a measurement harness, not a debugger
+	tr := run(t, "real a(5)\na(99) = 7\ns = a(99) + a(0-3)", Config{})
+	if tr.Steps != 2 {
+		t.Fatalf("steps = %d", tr.Steps)
+	}
+}

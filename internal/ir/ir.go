@@ -1,0 +1,306 @@
+// Package ir defines the abstract syntax tree of the mini-Fortran dialect
+// used throughout the GIVE-N-TAKE paper's figures: DO loops with integer
+// bounds, IF/THEN/ELSE, GOTO out of loops with numeric labels, scalar and
+// (possibly distributed) array assignments, and indirect array subscripts
+// such as x(a(k)).
+//
+// The IR is deliberately small: GIVE-N-TAKE only consumes a control flow
+// graph plus per-node initial sets, so the dialect needs exactly the
+// control-flow shapes and reference patterns that appear in the paper
+// (Figures 1, 3, 11) and in the communication-generation application.
+package ir
+
+import "fmt"
+
+// Pos is a source position (1-based line and column); the zero Pos means
+// "unknown", e.g. for synthesized nodes.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string {
+	if p.Line == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() Pos
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a scalar variable reference, e.g. N or test.
+type Ident struct {
+	Position Pos
+	Name     string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Position Pos
+	Value    int64
+}
+
+// BinExpr is a binary operation. Op is one of "+", "-", "*", "/",
+// "<", "<=", ">", ">=", "==", "!=", ".and.", ".or.".
+type BinExpr struct {
+	Position Pos
+	Op       string
+	X, Y     Expr
+}
+
+// UnaryExpr is a unary operation; Op is "-" or ".not.".
+type UnaryExpr struct {
+	Position Pos
+	Op       string
+	X        Expr
+}
+
+// ArrayRef is an array element reference such as x(k+10) or y(a(i)).
+// Subscripts may themselves contain ArrayRefs (indirect references).
+type ArrayRef struct {
+	Position Pos
+	Name     string
+	Subs     []Expr
+}
+
+// RangeExpr is a Fortran triplet lo:hi[:stride], used when printing
+// vectorized communication sets like x(11:N+10). Stride may be nil
+// (meaning 1).
+type RangeExpr struct {
+	Position Pos
+	Lo, Hi   Expr
+	Stride   Expr
+}
+
+// Ellipsis is the "..." placeholder the paper uses for irrelevant
+// right-hand sides and loop bodies.
+type Ellipsis struct {
+	Position Pos
+}
+
+func (e *Ident) Pos() Pos     { return e.Position }
+func (e *IntLit) Pos() Pos    { return e.Position }
+func (e *BinExpr) Pos() Pos   { return e.Position }
+func (e *UnaryExpr) Pos() Pos { return e.Position }
+func (e *ArrayRef) Pos() Pos  { return e.Position }
+func (e *RangeExpr) Pos() Pos { return e.Position }
+func (e *Ellipsis) Pos() Pos  { return e.Position }
+
+func (*Ident) exprNode()     {}
+func (*IntLit) exprNode()    {}
+func (*BinExpr) exprNode()   {}
+func (*UnaryExpr) exprNode() {}
+func (*ArrayRef) exprNode()  {}
+func (*RangeExpr) exprNode() {}
+func (*Ellipsis) exprNode()  {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement node. Every statement can carry a numeric label
+// (the Fortran "77 continue" style GOTO target).
+type Stmt interface {
+	Node
+	stmtNode()
+	// Label returns the statement's numeric label, or "" if unlabeled.
+	Label() string
+	// SetLabel attaches a numeric label.
+	SetLabel(string)
+}
+
+// stmtBase provides position and label storage for all statements.
+type stmtBase struct {
+	Position Pos
+	Lab      string
+}
+
+func (s *stmtBase) Pos() Pos          { return s.Position }
+func (s *stmtBase) Label() string     { return s.Lab }
+func (s *stmtBase) SetLabel(l string) { s.Lab = l }
+func (s *stmtBase) stmtNode()         {}
+
+// Assign is "lhs = rhs". LHS is an ArrayRef or Ident.
+type Assign struct {
+	stmtBase
+	LHS Expr
+	RHS Expr
+}
+
+// Do is a Fortran DO loop: do Var = Lo, Hi [, Step] ... enddo.
+// Fortran DO loops are zero-trip constructs: if Lo > Hi the body never
+// executes, which is exactly the case GIVE-N-TAKE's hoisting treatment
+// (paper §1, §3.2 C2) is designed for.
+type Do struct {
+	stmtBase
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Step Expr // nil means 1
+	Body []Stmt
+}
+
+// If is "if cond then ... [else ...] endif". A one-armed logical IF
+// ("if (c) goto 77") parses into an If with a single-statement Then and
+// nil Else.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Goto is "goto 77".
+type Goto struct {
+	stmtBase
+	Target string
+}
+
+// Continue is the Fortran no-op statement, used mostly as a label anchor.
+type Continue struct {
+	stmtBase
+}
+
+// Comm is a communication statement inserted by the communication
+// generator (it never comes from source text): e.g. READ_Send{x(11:N+10)}
+// or WRITE_SUM_Recv{x(a(1:N))} for a reduction write-back (paper §6).
+type Comm struct {
+	stmtBase
+	Op     string // "READ" or "WRITE"
+	Half   string // "Send", "Recv", or "" for an atomic operation
+	Reduce string // "", or a reduction the owner applies: "SUM", "PROD", "MAX", "MIN"
+	Args   []Expr // the array sections being communicated
+}
+
+// NewAssign, NewDo, ... are small constructors that keep call sites terse
+// in tests and the program generator.
+
+// NewAssign returns lhs = rhs at position p.
+func NewAssign(p Pos, lhs, rhs Expr) *Assign {
+	return &Assign{stmtBase: stmtBase{Position: p}, LHS: lhs, RHS: rhs}
+}
+
+// NewDo returns a DO loop statement.
+func NewDo(p Pos, v string, lo, hi Expr, body ...Stmt) *Do {
+	return &Do{stmtBase: stmtBase{Position: p}, Var: v, Lo: lo, Hi: hi, Body: body}
+}
+
+// NewIf returns a two-armed IF statement.
+func NewIf(p Pos, cond Expr, then, els []Stmt) *If {
+	return &If{stmtBase: stmtBase{Position: p}, Cond: cond, Then: then, Else: els}
+}
+
+// NewGoto returns a GOTO statement.
+func NewGoto(p Pos, target string) *Goto {
+	return &Goto{stmtBase: stmtBase{Position: p}, Target: target}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations and programs
+
+// Distribution describes how an array is mapped to processors; the
+// framework only cares whether references may be non-owned, so the kinds
+// are coarse.
+type Distribution int
+
+const (
+	// Local arrays live entirely on the executing processor; references
+	// never induce communication.
+	Local Distribution = iota
+	// Block-distributed arrays are spread across processors; a reference
+	// may be non-owned and consume (READ) or produce (WRITE) communication.
+	Block
+	// Cyclic distribution; treated like Block by the placement framework.
+	Cyclic
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Local:
+		return "local"
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ArrayDecl declares an array and its distribution.
+type ArrayDecl struct {
+	Position Pos
+	Name     string
+	// Dims are the declared extents, one per dimension. The paper's
+	// codes are one-dimensional; multi-dimensional declarations serve
+	// the stencil workloads of the examples and benches.
+	Dims []Expr
+	Dist Distribution
+}
+
+// Size returns the first dimension's extent (the common 1-D case).
+func (d *ArrayDecl) Size() Expr {
+	if len(d.Dims) == 0 {
+		return &IntLit{Value: 1}
+	}
+	return d.Dims[0]
+}
+
+func (d *ArrayDecl) Pos() Pos { return d.Position }
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Name  string
+	Decls []*ArrayDecl
+	Body  []Stmt
+	decls map[string]*ArrayDecl
+}
+
+// NewProgram returns an empty program with the given name.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, decls: map[string]*ArrayDecl{}}
+}
+
+// Declare adds an array declaration; redeclaration replaces the old entry.
+func (p *Program) Declare(d *ArrayDecl) {
+	if p.decls == nil {
+		p.decls = map[string]*ArrayDecl{}
+	}
+	if _, seen := p.decls[d.Name]; !seen {
+		p.Decls = append(p.Decls, d)
+	} else {
+		for i, old := range p.Decls {
+			if old.Name == d.Name {
+				p.Decls[i] = d
+			}
+		}
+	}
+	p.decls[d.Name] = d
+}
+
+// Decl returns the declaration for array name, or nil.
+func (p *Program) Decl(name string) *ArrayDecl {
+	if p.decls == nil {
+		p.decls = map[string]*ArrayDecl{}
+		for _, d := range p.Decls {
+			p.decls[d.Name] = d
+		}
+	}
+	return p.decls[name]
+}
+
+// Distributed reports whether name is declared as a distributed array.
+func (p *Program) Distributed(name string) bool {
+	d := p.Decl(name)
+	return d != nil && d.Dist != Local
+}

@@ -1,0 +1,132 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func lit(v int64) *IntLit { return &IntLit{Value: v} }
+func id(n string) *Ident  { return &Ident{Name: n} }
+func bin(op string, x, y Expr) *BinExpr {
+	return &BinExpr{Op: op, X: x, Y: y}
+}
+
+func TestExprStringPrecedence(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{bin("+", id("a"), bin("*", id("b"), id("c"))), "a + b * c"},
+		{bin("*", bin("+", id("a"), id("b")), id("c")), "(a + b) * c"},
+		{bin("-", id("a"), bin("-", id("b"), id("c"))), "a - (b - c)"},
+		{bin("-", bin("-", id("a"), id("b")), id("c")), "a - b - c"},
+		{&UnaryExpr{Op: "-", X: id("a")}, "-a"},
+		{&ArrayRef{Name: "x", Subs: []Expr{bin("+", id("k"), lit(10))}}, "x(k + 10)"},
+		{&RangeExpr{Lo: lit(1), Hi: id("n")}, "1:n"},
+		{&RangeExpr{Lo: lit(1), Hi: id("n"), Stride: lit(2)}, "1:n:2"},
+		{&Ellipsis{}, "..."},
+		{bin("<", id("i"), id("n")), "i < n"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStmtPrinting(t *testing.T) {
+	d := NewDo(Pos{}, "i", lit(1), id("n"),
+		NewAssign(Pos{}, &ArrayRef{Name: "x", Subs: []Expr{id("i")}}, &Ellipsis{}))
+	d.SetLabel("77")
+	got := StmtsString([]Stmt{d})
+	want := "77 do i = 1, n\n    x(i) = ...\nenddo\n"
+	if got != want {
+		t.Errorf("printed:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestLogicalIfPrinting(t *testing.T) {
+	s := NewIf(Pos{}, id("c"), []Stmt{NewGoto(Pos{}, "9")}, nil)
+	if got := StmtsString([]Stmt{s}); got != "if (c) goto 9\n" {
+		t.Errorf("logical if prints as %q", got)
+	}
+}
+
+func TestCommPrinting(t *testing.T) {
+	c := &Comm{Op: "READ", Half: "Send", Args: []Expr{
+		&ArrayRef{Name: "x", Subs: []Expr{&RangeExpr{Lo: lit(11), Hi: bin("+", id("n"), lit(10))}}},
+	}}
+	if got := strings.TrimSpace(StmtsString([]Stmt{c})); got != "READ_Send{x(11:n + 10)}" {
+		t.Errorf("comm prints as %q", got)
+	}
+	a := &Comm{Op: "WRITE", Args: []Expr{id("q")}}
+	if got := strings.TrimSpace(StmtsString([]Stmt{a})); got != "WRITE{q}" {
+		t.Errorf("atomic comm prints as %q", got)
+	}
+}
+
+func TestWalkAndCollect(t *testing.T) {
+	e := bin("+", &ArrayRef{Name: "x", Subs: []Expr{&ArrayRef{Name: "a", Subs: []Expr{id("k")}}}}, id("m"))
+	refs := ArrayRefs(e)
+	if len(refs) != 2 || refs[0].Name != "x" || refs[1].Name != "a" {
+		t.Fatalf("ArrayRefs = %v", refs)
+	}
+	ids := Idents(e)
+	if len(ids) != 2 {
+		t.Fatalf("Idents = %v", ids)
+	}
+}
+
+func TestWalkStmtsPruning(t *testing.T) {
+	inner := NewAssign(Pos{}, id("x"), lit(1))
+	loop := NewDo(Pos{}, "i", lit(1), id("n"), inner)
+	seen := 0
+	WalkStmts([]Stmt{loop}, func(s Stmt) bool {
+		seen++
+		return false // do not descend
+	})
+	if seen != 1 {
+		t.Fatalf("pruned walk visited %d statements, want 1", seen)
+	}
+}
+
+func TestCloneExprDeep(t *testing.T) {
+	orig := &ArrayRef{Name: "x", Subs: []Expr{bin("+", id("k"), lit(1))}}
+	c := CloneExpr(orig).(*ArrayRef)
+	c.Subs[0].(*BinExpr).Op = "-"
+	if orig.Subs[0].(*BinExpr).Op != "+" {
+		t.Fatal("CloneExpr aliases sub-expressions")
+	}
+}
+
+func TestProgramDecls(t *testing.T) {
+	p := NewProgram("t")
+	p.Declare(&ArrayDecl{Name: "x", Dims: []Expr{lit(10)}, Dist: Block})
+	p.Declare(&ArrayDecl{Name: "y", Dims: []Expr{lit(10)}, Dist: Local})
+	if !p.Distributed("x") || p.Distributed("y") || p.Distributed("zz") {
+		t.Fatal("Distributed lookup wrong")
+	}
+	// redeclaration replaces
+	p.Declare(&ArrayDecl{Name: "x", Dims: []Expr{lit(20)}, Dist: Cyclic})
+	if len(p.Decls) != 2 {
+		t.Fatalf("redeclaration duplicated: %d decls", len(p.Decls))
+	}
+	if p.Decl("x").Dist != Cyclic {
+		t.Fatal("redeclaration did not replace")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Local.String() != "local" || Block.String() != "block" || Cyclic.String() != "cyclic" {
+		t.Fatal("Distribution strings wrong")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if (Pos{}).String() != "-" {
+		t.Fatal("zero Pos should print as -")
+	}
+	if (Pos{Line: 3, Col: 7}).String() != "3:7" {
+		t.Fatal("Pos format wrong")
+	}
+}

@@ -1,0 +1,185 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// precedence levels for expression printing; higher binds tighter.
+func prec(op string) int {
+	switch op {
+	case ".or.":
+		return 1
+	case ".and.":
+		return 2
+	case "<", "<=", ">", ">=", "==", "!=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/":
+		return 5
+	default:
+		return 6
+	}
+}
+
+// ExprString renders an expression in the paper's surface syntax.
+func ExprString(e Expr) string {
+	return exprString(e, 0)
+}
+
+func exprString(e Expr, outer int) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *Ident:
+		return e.Name
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *Ellipsis:
+		return "..."
+	case *UnaryExpr:
+		if e.Op == ".not." {
+			return ".not. " + exprString(e.X, 6)
+		}
+		return e.Op + exprString(e.X, 6)
+	case *BinExpr:
+		p := prec(e.Op)
+		s := exprString(e.X, p) + " " + e.Op + " " + exprString(e.Y, p+1)
+		if p < outer {
+			return "(" + s + ")"
+		}
+		return s
+	case *ArrayRef:
+		subs := make([]string, len(e.Subs))
+		for i, x := range e.Subs {
+			subs[i] = exprString(x, 0)
+		}
+		return e.Name + "(" + strings.Join(subs, ", ") + ")"
+	case *RangeExpr:
+		s := exprString(e.Lo, 4) + ":" + exprString(e.Hi, 4)
+		if e.Stride != nil {
+			s += ":" + exprString(e.Stride, 4)
+		}
+		return s
+	default:
+		panic("ir: ExprString: unknown expression type")
+	}
+}
+
+// Printer renders programs and statement lists as mini-Fortran text.
+type Printer struct {
+	// Indent is the per-level indentation; defaults to four spaces.
+	Indent string
+	b      strings.Builder
+}
+
+// ProgramString renders a whole program, declarations first.
+func ProgramString(p *Program) string {
+	var pr Printer
+	return pr.Program(p)
+}
+
+// StmtsString renders a statement list at indent level 0.
+func StmtsString(stmts []Stmt) string {
+	var pr Printer
+	pr.stmts(stmts, 0)
+	return pr.b.String()
+}
+
+// Program renders a whole program.
+func (pr *Printer) Program(p *Program) string {
+	pr.b.Reset()
+	for _, d := range p.Decls {
+		kw := "real"
+		if d.Dist != Local {
+			kw = "distributed"
+		}
+		dims := make([]string, len(d.Dims))
+		for i, dim := range d.Dims {
+			dims[i] = ExprString(dim)
+		}
+		fmt.Fprintf(&pr.b, "%s %s(%s)\n", kw, d.Name, strings.Join(dims, ", "))
+	}
+	if len(p.Decls) > 0 {
+		pr.b.WriteByte('\n')
+	}
+	pr.stmts(p.Body, 0)
+	return pr.b.String()
+}
+
+func (pr *Printer) indent() string {
+	if pr.Indent == "" {
+		return "    "
+	}
+	return pr.Indent
+}
+
+func (pr *Printer) line(level int, label, text string) {
+	if label != "" {
+		// Fortran-style: label flush left, then indentation.
+		pr.b.WriteString(label)
+		pr.b.WriteByte(' ')
+		if pad := len(pr.indent())*level - len(label) - 1; pad > 0 {
+			pr.b.WriteString(strings.Repeat(" ", pad))
+		}
+	} else {
+		pr.b.WriteString(strings.Repeat(pr.indent(), level))
+	}
+	pr.b.WriteString(text)
+	pr.b.WriteByte('\n')
+}
+
+func (pr *Printer) stmts(stmts []Stmt, level int) {
+	for _, s := range stmts {
+		pr.stmt(s, level)
+	}
+}
+
+func (pr *Printer) stmt(s Stmt, level int) {
+	switch s := s.(type) {
+	case *Assign:
+		pr.line(level, s.Label(), ExprString(s.LHS)+" = "+ExprString(s.RHS))
+	case *Do:
+		hdr := fmt.Sprintf("do %s = %s, %s", s.Var, ExprString(s.Lo), ExprString(s.Hi))
+		if s.Step != nil {
+			hdr += ", " + ExprString(s.Step)
+		}
+		pr.line(level, s.Label(), hdr)
+		pr.stmts(s.Body, level+1)
+		pr.line(level, "", "enddo")
+	case *If:
+		if len(s.Else) == 0 && len(s.Then) == 1 {
+			if g, ok := s.Then[0].(*Goto); ok && s.Then[0].Label() == "" {
+				pr.line(level, s.Label(), fmt.Sprintf("if (%s) goto %s", ExprString(s.Cond), g.Target))
+				return
+			}
+		}
+		pr.line(level, s.Label(), fmt.Sprintf("if (%s) then", ExprString(s.Cond)))
+		pr.stmts(s.Then, level+1)
+		if len(s.Else) > 0 {
+			pr.line(level, "", "else")
+			pr.stmts(s.Else, level+1)
+		}
+		pr.line(level, "", "endif")
+	case *Goto:
+		pr.line(level, s.Label(), "goto "+s.Target)
+	case *Continue:
+		pr.line(level, s.Label(), "continue")
+	case *Comm:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = ExprString(a)
+		}
+		name := s.Op
+		if s.Reduce != "" {
+			name += "_" + s.Reduce
+		}
+		if s.Half != "" {
+			name += "_" + s.Half
+		}
+		pr.line(level, s.Label(), name+"{"+strings.Join(args, ", ")+"}")
+	default:
+		panic("ir: Printer: unknown statement type")
+	}
+}

@@ -1,0 +1,100 @@
+package ir
+
+// WalkExpr calls f for e and every sub-expression of e, parents first.
+// If f returns false, the walk does not descend into that node.
+func WalkExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *BinExpr:
+		WalkExpr(e.X, f)
+		WalkExpr(e.Y, f)
+	case *UnaryExpr:
+		WalkExpr(e.X, f)
+	case *ArrayRef:
+		for _, s := range e.Subs {
+			WalkExpr(s, f)
+		}
+	case *RangeExpr:
+		WalkExpr(e.Lo, f)
+		WalkExpr(e.Hi, f)
+		if e.Stride != nil {
+			WalkExpr(e.Stride, f)
+		}
+	}
+}
+
+// WalkStmts calls f for every statement in the list and, recursively, in
+// all nested bodies, in source order. If f returns false the walk does
+// not descend into that statement's bodies.
+func WalkStmts(stmts []Stmt, f func(Stmt) bool) {
+	for _, s := range stmts {
+		if s == nil || !f(s) {
+			continue
+		}
+		switch s := s.(type) {
+		case *Do:
+			WalkStmts(s.Body, f)
+		case *If:
+			WalkStmts(s.Then, f)
+			WalkStmts(s.Else, f)
+		}
+	}
+}
+
+// ArrayRefs returns every ArrayRef occurring in e (including indirect
+// subscript references, innermost last).
+func ArrayRefs(e Expr) []*ArrayRef {
+	var out []*ArrayRef
+	WalkExpr(e, func(x Expr) bool {
+		if r, ok := x.(*ArrayRef); ok {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// Idents returns every scalar Ident occurring in e.
+func Idents(e Expr) []*Ident {
+	var out []*Ident
+	WalkExpr(e, func(x Expr) bool {
+		if id, ok := x.(*Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		c := *e
+		return &c
+	case *IntLit:
+		c := *e
+		return &c
+	case *Ellipsis:
+		c := *e
+		return &c
+	case *BinExpr:
+		return &BinExpr{Position: e.Position, Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y)}
+	case *UnaryExpr:
+		return &UnaryExpr{Position: e.Position, Op: e.Op, X: CloneExpr(e.X)}
+	case *ArrayRef:
+		subs := make([]Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			subs[i] = CloneExpr(s)
+		}
+		return &ArrayRef{Position: e.Position, Name: e.Name, Subs: subs}
+	case *RangeExpr:
+		return &RangeExpr{Position: e.Position, Lo: CloneExpr(e.Lo), Hi: CloneExpr(e.Hi), Stride: CloneExpr(e.Stride)}
+	default:
+		panic("ir: CloneExpr: unknown expression type")
+	}
+}

@@ -1,0 +1,107 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloneExprAllKinds(t *testing.T) {
+	exprs := []Expr{
+		id("a"),
+		lit(3),
+		&Ellipsis{},
+		bin("+", id("a"), lit(1)),
+		&UnaryExpr{Op: "-", X: id("b")},
+		&ArrayRef{Name: "x", Subs: []Expr{id("i"), lit(2)}},
+		&RangeExpr{Lo: lit(1), Hi: id("n"), Stride: lit(2)},
+	}
+	for _, e := range exprs {
+		c := CloneExpr(e)
+		if ExprString(c) != ExprString(e) {
+			t.Errorf("clone of %s prints as %s", ExprString(e), ExprString(c))
+		}
+	}
+	if CloneExpr(nil) != nil {
+		t.Error("CloneExpr(nil) should be nil")
+	}
+}
+
+func TestWalkExprPrune(t *testing.T) {
+	e := bin("+", &ArrayRef{Name: "x", Subs: []Expr{id("deep")}}, id("top"))
+	var names []string
+	WalkExpr(e, func(x Expr) bool {
+		if r, ok := x.(*ArrayRef); ok {
+			names = append(names, r.Name)
+			return false // do not descend into the subscript
+		}
+		if i, ok := x.(*Ident); ok {
+			names = append(names, i.Name)
+		}
+		return true
+	})
+	joined := strings.Join(names, ",")
+	if strings.Contains(joined, "deep") {
+		t.Fatalf("prune failed: %s", joined)
+	}
+	if !strings.Contains(joined, "top") || !strings.Contains(joined, "x") {
+		t.Fatalf("walk missed nodes: %s", joined)
+	}
+}
+
+func TestWalkExprRange(t *testing.T) {
+	e := &RangeExpr{Lo: id("a"), Hi: id("b"), Stride: id("c")}
+	if got := len(Idents(e)); got != 3 {
+		t.Fatalf("Idents over a triplet = %d, want 3", got)
+	}
+}
+
+func TestStmtPrintingWithStep(t *testing.T) {
+	d := NewDo(Pos{}, "i", lit(1), id("n"))
+	d.Step = lit(2)
+	got := StmtsString([]Stmt{d})
+	if !strings.Contains(got, "do i = 1, n, 2") {
+		t.Fatalf("step missing: %q", got)
+	}
+}
+
+func TestIfElsePrinting(t *testing.T) {
+	s := NewIf(Pos{}, id("c"),
+		[]Stmt{NewAssign(Pos{}, id("a"), lit(1))},
+		[]Stmt{NewAssign(Pos{}, id("b"), lit(2))})
+	got := StmtsString([]Stmt{s})
+	want := "if (c) then\n    a = 1\nelse\n    b = 2\nendif\n"
+	if got != want {
+		t.Fatalf("printed:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestProgramStringWithDecls(t *testing.T) {
+	p := NewProgram("t")
+	p.Declare(&ArrayDecl{Name: "u", Dims: []Expr{lit(10), lit(20)}, Dist: Block})
+	p.Body = []Stmt{NewAssign(Pos{}, id("s"), lit(0))}
+	got := ProgramString(p)
+	if !strings.Contains(got, "distributed u(10, 20)") {
+		t.Fatalf("2-D declaration prints wrong:\n%s", got)
+	}
+}
+
+func TestArrayDeclSize(t *testing.T) {
+	d := &ArrayDecl{Name: "x", Dims: []Expr{lit(7), lit(9)}}
+	if v := d.Size().(*IntLit).Value; v != 7 {
+		t.Fatalf("Size = %d, want first dim 7", v)
+	}
+	empty := &ArrayDecl{Name: "y"}
+	if v := empty.Size().(*IntLit).Value; v != 1 {
+		t.Fatalf("empty Size = %d, want 1", v)
+	}
+}
+
+func TestGotoAndContinuePrinting(t *testing.T) {
+	g := NewGoto(Pos{}, "42")
+	c := &Continue{}
+	c.SetLabel("42")
+	got := StmtsString([]Stmt{g, c})
+	if got != "goto 42\n42 continue\n" {
+		t.Fatalf("printed %q", got)
+	}
+}

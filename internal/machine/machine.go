@@ -1,0 +1,103 @@
+// Package machine is an analytic cost model for the communication traces
+// produced by the interpreter: a classic α–β (latency–bandwidth) model
+// with overlap credit for split sends and receives. It stands in for the
+// distributed-memory machines of the paper's era (paper §2 notes that
+// the profitability of vectorization and latency hiding "depends heavily
+// on the actual machine characteristics"; the model makes those
+// characteristics explicit parameters).
+package machine
+
+import (
+	"fmt"
+
+	"givetake/internal/interp"
+)
+
+// Model holds the machine parameters, all in abstract work units (one
+// interpreted statement costs Work units of compute).
+type Model struct {
+	// Latency is the per-message startup cost α.
+	Latency float64
+	// PerElem is the per-element transfer cost β.
+	PerElem float64
+	// Work is the compute cost of one interpreter step; the time a Send
+	// runs ahead of its Recv is overlap credit at this rate.
+	Work float64
+}
+
+// Typical models, loosely shaped after the era's machines: message
+// startup dominates (thousands of flops per message), so vectorization
+// pays first and overlap second.
+var (
+	// HighLatency resembles an iPSC-class message-passing machine.
+	HighLatency = Model{Latency: 1000, PerElem: 1, Work: 1}
+	// LowLatency resembles a shared-memory or fast-interconnect machine;
+	// even here fewer messages win (paper §2).
+	LowLatency = Model{Latency: 20, PerElem: 0.5, Work: 1}
+)
+
+// Result is the cost breakdown of one trace.
+type Result struct {
+	// Compute is Steps × Work.
+	Compute float64
+	// Wait is the exposed (non-overlapped) communication time.
+	Wait float64
+	// Total = Compute + Wait.
+	Total float64
+	// Messages and Volume summarize the trace.
+	Messages, Volume int64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("msgs=%d vol=%d compute=%.0f wait=%.0f total=%.0f",
+		r.Messages, r.Volume, r.Compute, r.Wait, r.Total)
+}
+
+// Cost evaluates a trace under the model. Atomic communication exposes
+// its full transfer cost; a split pair exposes only what the compute
+// between Send and Recv could not hide.
+func (m Model) Cost(t *interp.Trace) Result {
+	r := Result{
+		Compute:  float64(t.Steps) * m.Work,
+		Messages: t.Messages(),
+		Volume:   t.Volume(),
+	}
+	type key struct{ op, args string }
+	type sendEv struct {
+		step  int64
+		elems int64
+	}
+	pending := map[key][]sendEv{}
+	for _, e := range t.Events {
+		k := key{e.Op, e.Args}
+		switch e.Half {
+		case "":
+			r.Wait += m.Latency + float64(e.Elems)*m.PerElem
+		case "Send":
+			pending[k] = append(pending[k], sendEv{e.Step, e.Elems})
+		case "Recv":
+			q := pending[k]
+			if len(q) == 0 {
+				// unmatched receive: pay the full transfer
+				r.Wait += m.Latency + float64(e.Elems)*m.PerElem
+				continue
+			}
+			s := q[len(q)-1]
+			pending[k] = q[:len(q)-1]
+			transfer := m.Latency + float64(s.elems)*m.PerElem
+			hidden := float64(e.Step-s.step) * m.Work
+			if exposed := transfer - hidden; exposed > 0 {
+				r.Wait += exposed
+			}
+		}
+	}
+	// sends never received still consumed bandwidth; charge them fully
+	// (a balanced placement has none)
+	for _, q := range pending {
+		for _, s := range q {
+			r.Wait += m.Latency + float64(s.elems)*m.PerElem
+		}
+	}
+	r.Total = r.Compute + r.Wait
+	return r
+}

@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"testing"
+
+	"givetake/internal/comm"
+	"givetake/internal/frontend"
+	"givetake/internal/interp"
+)
+
+const fig1Src = `
+distributed x(1000)
+real y(1000), z(1000), a(1000)
+
+do i = 1, n
+    y(i) = ...
+enddo
+if test then
+    do j = 1, n
+        z(j) = ...
+    enddo
+    do k = 1, n
+        ... = x(a(k))
+    enddo
+else
+    do l = 1, n
+        ... = x(a(l))
+    enddo
+endif
+`
+
+// TestFig2MachineComparison is the dynamic version of Figure 2: naive
+// placement issues N messages with no overlap; GIVE-N-TAKE issues one
+// vectorized message whose latency the i-loop hides.
+func TestFig2MachineComparison(t *testing.T) {
+	prog, err := frontend.Parse(fig1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	cfg := interp.Config{N: n, Seed: 3}
+
+	naiveTrace, err := interp.Run(comm.NaiveAnnotate(prog, comm.Options{Reads: true, Writes: true}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := comm.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gntTrace, err := interp.Run(a.Annotate(comm.DefaultOptions), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if naiveTrace.Messages() != n {
+		t.Fatalf("naive messages = %d, want N = %d", naiveTrace.Messages(), n)
+	}
+	if gntTrace.Messages() != 1 {
+		t.Fatalf("GIVE-N-TAKE messages = %d, want 1", gntTrace.Messages())
+	}
+	// balance holds dynamically
+	if s, r := gntTrace.UnmatchedSplit(); s != 0 || r != 0 {
+		t.Fatalf("unbalanced trace: %d sends, %d recvs unmatched", s, r)
+	}
+	// the i-loop hides latency: the send-to-recv distance spans it
+	pairs, total, _ := gntTrace.OverlapStats()
+	if pairs != 1 || total < int64(n) {
+		t.Fatalf("overlap pairs=%d dist=%d, want distance spanning the i-loop (≥%d)", pairs, total, n)
+	}
+
+	// under the high-latency model the ordering is naive ≫ atomic ≫ split
+	m := HighLatency
+	naiveCost := m.Cost(naiveTrace)
+	atomicTrace, err := interp.Run(a.Annotate(comm.Options{Reads: true, Writes: true}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomicCost := m.Cost(atomicTrace)
+	splitCost := m.Cost(gntTrace)
+	if !(naiveCost.Total > atomicCost.Total && atomicCost.Total > splitCost.Total) {
+		t.Fatalf("cost ordering wrong:\n naive  %v\n atomic %v\n split  %v",
+			naiveCost, atomicCost, splitCost)
+	}
+	// vectorization dominates: naive pays ~N startups, GNT pays 1
+	if naiveCost.Wait < float64(n)*m.Latency {
+		t.Fatalf("naive wait %.0f should include %d startups", naiveCost.Wait, n)
+	}
+	if splitCost.Wait >= m.Latency {
+		t.Fatalf("split wait %.0f should hide most of one startup (α=%.0f)", splitCost.Wait, m.Latency)
+	}
+}
+
+func TestCostModelBasics(t *testing.T) {
+	tr := &interp.Trace{
+		Steps: 100,
+		Events: []interp.CommEvent{
+			{Op: "READ", Half: "", Step: 10, Elems: 5, Args: "x(1:5)"},
+		},
+	}
+	m := Model{Latency: 100, PerElem: 2, Work: 1}
+	r := m.Cost(tr)
+	if r.Compute != 100 {
+		t.Fatalf("compute = %f", r.Compute)
+	}
+	if r.Wait != 100+5*2 {
+		t.Fatalf("wait = %f, want 110 (fully exposed atomic)", r.Wait)
+	}
+	if r.Total != r.Compute+r.Wait {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestCostModelOverlap(t *testing.T) {
+	mk := func(sendStep, recvStep int64) *interp.Trace {
+		return &interp.Trace{
+			Steps: 200,
+			Events: []interp.CommEvent{
+				{Op: "READ", Half: "Send", Step: sendStep, Elems: 10, Args: "x(1:10)"},
+				{Op: "READ", Half: "Recv", Step: recvStep, Elems: 10, Args: "x(1:10)"},
+			},
+		}
+	}
+	m := Model{Latency: 100, PerElem: 1, Work: 1}
+	transfer := 110.0
+
+	// no distance: fully exposed
+	if r := m.Cost(mk(50, 50)); r.Wait != transfer {
+		t.Fatalf("zero-distance wait = %f, want %f", r.Wait, transfer)
+	}
+	// partial overlap
+	if r := m.Cost(mk(50, 100)); r.Wait != transfer-50 {
+		t.Fatalf("partial overlap wait = %f, want %f", r.Wait, transfer-50)
+	}
+	// full overlap
+	if r := m.Cost(mk(50, 180)); r.Wait != 0 {
+		t.Fatalf("full overlap wait = %f, want 0", r.Wait)
+	}
+}
+
+func TestCostModelUnmatchedCharged(t *testing.T) {
+	tr := &interp.Trace{
+		Steps: 10,
+		Events: []interp.CommEvent{
+			{Op: "READ", Half: "Send", Step: 1, Elems: 4, Args: "x(1:4)"},
+			{Op: "WRITE", Half: "Recv", Step: 5, Elems: 4, Args: "y(1:4)"},
+		},
+	}
+	m := Model{Latency: 10, PerElem: 1, Work: 1}
+	r := m.Cost(tr)
+	if r.Wait != 2*(10+4) {
+		t.Fatalf("unmatched halves should be fully charged: wait = %f", r.Wait)
+	}
+}

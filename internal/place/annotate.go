@@ -1,0 +1,221 @@
+// Package place maps GIVE-N-TAKE placement results back onto source
+// programs: it rebuilds a program's statement list, invoking a callback
+// for the entry and exit of every CFG block — including the synthetic
+// positions that need materialization (paper §5.4): pads on branch arms
+// become code at the top of the arm (creating an else branch if needed,
+// as in Figure 3), pads on loop edges become code before the first or
+// after the last iteration, and label anchors put their code in front of
+// the labeled statement, transferring the label (Figure 14's
+// "77 READ_Recv{...}").
+package place
+
+import (
+	"fmt"
+
+	"givetake/internal/cfg"
+	"givetake/internal/ir"
+)
+
+// EmitFunc returns the statements to insert at a block's entry
+// (entry=true) or exit. It is called exactly once per block side.
+type EmitFunc func(b *cfg.Block, entry bool) []ir.Stmt
+
+// Annotate returns a copy of prog with the emitter's statements woven in
+// at the source positions corresponding to each CFG block.
+func Annotate(prog *ir.Program, g *cfg.Graph, emit EmitFunc) *ir.Program {
+	out := ir.NewProgram(prog.Name)
+	for _, d := range prog.Decls {
+		out.Declare(d)
+	}
+	an := &annotator{g: g, emit: emit}
+	body := emit(g.Entry, true)
+	body = append(body, emit(g.Entry, false)...)
+	body = append(body, an.rebuild(prog.Body)...)
+	body = append(body, emit(g.Exit, true)...)
+	body = append(body, emit(g.Exit, false)...)
+	out.Body = body
+	return out
+}
+
+type annotator struct {
+	g    *cfg.Graph
+	emit EmitFunc
+}
+
+func (an *annotator) comms(b *cfg.Block, entry bool) []ir.Stmt {
+	if b == nil {
+		return nil
+	}
+	return an.emit(b, entry)
+}
+
+// around wraps a statement's own entry/exit communication.
+func (an *annotator) around(b *cfg.Block, label string, mk func() ir.Stmt) []ir.Stmt {
+	var out []ir.Stmt
+	out = append(out, an.comms(b, true)...)
+	out = append(out, mk())
+	out = append(out, an.comms(b, false)...)
+	return applyLabel(out, label)
+}
+
+// applyLabel moves a statement label onto the first statement of the
+// expansion, as in Figure 14's "77 READ_Recv{...}".
+func applyLabel(stmts []ir.Stmt, label string) []ir.Stmt {
+	if label == "" || len(stmts) == 0 {
+		return stmts
+	}
+	stmts[0].SetLabel(label)
+	return stmts
+}
+
+// padOnEdge returns the pad block sitting on the edge from → to, if any.
+func padOnEdge(from *cfg.Block, idx int) *cfg.Block {
+	if idx >= len(from.Succs) {
+		return nil
+	}
+	if s := from.Succs[idx]; s != nil && s.Kind == cfg.KPad {
+		return s
+	}
+	return nil
+}
+
+func (an *annotator) rebuild(stmts []ir.Stmt) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range stmts {
+		label := s.Label()
+		// a labeled goto target: the anchor block's communication comes
+		// first and inherits the label
+		if label != "" {
+			if anchor := an.anchorBlock(label); anchor != nil {
+				pre := an.comms(anchor, true)
+				pre = append(pre, an.comms(anchor, false)...)
+				if len(pre) > 0 {
+					out = append(out, applyLabel(pre, label)...)
+					label = "" // consumed by the first comm statement
+				}
+			}
+		}
+		switch s := s.(type) {
+		case *ir.Assign:
+			out = append(out, an.around(an.g.StmtBlock[s], label, func() ir.Stmt {
+				return cloneWithLabel(s, "")
+			})...)
+		case *ir.Continue:
+			out = append(out, an.around(an.g.StmtBlock[s], label, func() ir.Stmt {
+				return cloneWithLabel(s, "")
+			})...)
+		case *ir.Comm:
+			out = append(out, cloneWithLabel(s, label))
+		case *ir.Goto:
+			g := &ir.Goto{Target: s.Target}
+			g.SetLabel(label)
+			out = append(out, g)
+		case *ir.Do:
+			h := an.g.LoopHeader[s]
+			d := &ir.Do{Var: s.Var, Lo: s.Lo, Hi: s.Hi, Step: s.Step}
+			d.Body = an.rebuild(s.Body)
+			if h != nil {
+				// A pad on the entry edge (inserted when the first body
+				// statement is itself a loop header) executes at the top
+				// of every iteration: prepend its communication to the
+				// body. An empty source body hides a synthesized continue
+				// node the AST walk never reaches; its communication forms
+				// the body.
+				if pad := padOnEdge(h, 0); pad != nil {
+					pre := an.comms(pad, true)
+					pre = append(pre, an.comms(pad, false)...)
+					d.Body = append(pre, d.Body...)
+				}
+				if len(s.Body) == 0 && len(h.Succs) > 0 && h.Succs[0].Kind == cfg.KStmt {
+					body := an.comms(h.Succs[0], true)
+					body = append(body, an.comms(h.Succs[0], false)...)
+					d.Body = append(body, d.Body...)
+				}
+			}
+			group := an.comms(h, true)
+			group = append(group, d)
+			group = append(group, an.comms(h, false)...)
+			// a pad on the loop-exit edge also lands right after enddo
+			if h != nil {
+				if pad := padOnEdge(h, len(h.Succs)-1); pad != nil {
+					group = append(group, an.comms(pad, true)...)
+					group = append(group, an.comms(pad, false)...)
+				}
+			}
+			out = append(out, applyLabel(group, label)...)
+		case *ir.If:
+			out = append(out, an.rebuildIf(s, label)...)
+		default:
+			panic(fmt.Sprintf("place: annotate: unexpected %T", s))
+		}
+	}
+	return out
+}
+
+func (an *annotator) rebuildIf(s *ir.If, label string) []ir.Stmt {
+	br := an.g.IfBranch[s]
+	join := an.g.IfJoin[s]
+
+	then := an.rebuild(s.Then)
+	els := an.rebuild(s.Else)
+	// Pads hanging off the branch belong to the start of the matching
+	// arm: Succs[0] is the then side, Succs[1] the else side. This
+	// covers the synthetic else branch of Figure 3 (pad on branch→join),
+	// the landing block of Figure 14 (pad on branch→anchor, production
+	// inside "if ... then" before the goto), and the latch pad of a
+	// loop-ending logical IF.
+	if br != nil {
+		if pad := padOnEdge(br, 0); pad != nil {
+			pre := an.comms(pad, true)
+			pre = append(pre, an.comms(pad, false)...)
+			then = append(pre, then...)
+		}
+		if pad := padOnEdge(br, 1); pad != nil {
+			pre := an.comms(pad, true)
+			pre = append(pre, an.comms(pad, false)...)
+			els = append(pre, els...)
+		}
+	}
+
+	group := an.comms(br, true)
+	// Production at the branch's exit (e.g. a WRITE_Recv the reversed
+	// problem anchors to the branch) executes once, after the condition
+	// evaluates and before either arm; emitting it just before the IF is
+	// semantically identical since condition evaluation has no effects.
+	group = append(group, an.comms(br, false)...)
+	nif := ir.NewIf(s.Pos(), s.Cond, then, els)
+	group = append(group, nif)
+	group = append(group, an.comms(join, true)...)
+	group = append(group, an.comms(join, false)...)
+	return applyLabel(group, label)
+}
+
+func (an *annotator) anchorBlock(label string) *cfg.Block {
+	for _, b := range an.g.Blocks {
+		if b.Kind == cfg.KAnchor && b.LabelName == label {
+			return b
+		}
+	}
+	return nil
+}
+
+// cloneWithLabel shallow-copies a statement so the original program is
+// never mutated by label transfer.
+func cloneWithLabel(s ir.Stmt, label string) ir.Stmt {
+	var c ir.Stmt
+	switch s := s.(type) {
+	case *ir.Assign:
+		n := *s
+		c = &n
+	case *ir.Continue:
+		n := *s
+		c = &n
+	case *ir.Comm:
+		n := *s
+		c = &n
+	default:
+		panic(fmt.Sprintf("place: cloneWithLabel: unexpected %T", s))
+	}
+	c.SetLabel(label)
+	return c
+}

@@ -1,0 +1,110 @@
+package pre
+
+import "givetake/internal/bitset"
+
+// LazyCodeMotion computes the Knoop–Rüthing–Steffen placement [KRS92]:
+// expressions are computed at the latest down-safe and earliest-reaching
+// points. The graph is critical-edge-free (cfg.Build guarantees it), so
+// the node-based formulation suffices.
+//
+// The result is computationally optimal among *safe* placements: unlike
+// GIVE-N-TAKE, LCM never hoists an expression above a potentially
+// zero-trip loop, and it yields a single placement point per expression
+// (atomic: no send/recv region for latency hiding).
+func (p *Problem) LazyCodeMotion() *Placement {
+	u := p.Universe
+	antin, antout := p.anticipability()
+	avin, _ := p.availability()
+
+	// EARLIEST(n) = ANTIN(n) − AVIN(n), restricted to nodes where the
+	// expression cannot be computed earlier: at the entry, or where some
+	// predecessor fails to keep it anticipated-and-transparent.
+	earliest := p.sets()
+	for _, b := range p.G.Blocks {
+		e := bitset.Subtract(antin[b.ID], avin[b.ID])
+		if len(b.Preds) > 0 {
+			blockedAbove := bitset.New(u)
+			for _, q := range b.Preds {
+				// the expression cannot float through q if it is not
+				// anticipated at q's exit, or q kills it
+				notThrough := bitset.New(u)
+				notThrough.Fill()
+				notThrough.SubtractWith(antout[q.ID])
+				killed := bitset.New(u)
+				killed.Fill()
+				killed.SubtractWith(p.Transp[q.ID])
+				notThrough.UnionWith(killed)
+				blockedAbove.UnionWith(notThrough)
+			}
+			e.IntersectWith(blockedAbove)
+		}
+		earliest[b.ID] = e
+	}
+
+	// DELAY: push computation points down from EARLIEST as long as every
+	// path agrees and no use intervenes.
+	delayin, delayout := p.sets(), p.sets()
+	iter := 0
+	for changed := true; changed; {
+		changed = false
+		iter++
+		for _, b := range p.G.Blocks {
+			in := earliest[b.ID].Clone()
+			if len(b.Preds) > 0 {
+				in.UnionWith(meetPreds(b, delayout, u))
+			}
+			out := bitset.Subtract(in, p.Used[b.ID])
+			if !in.Equal(delayin[b.ID]) || !out.Equal(delayout[b.ID]) {
+				delayin[b.ID], delayout[b.ID] = in, out
+				changed = true
+			}
+		}
+	}
+
+	// LATEST(n) = DELAYIN(n) ∩ (USED(n) ∪ ¬⋂_s DELAYIN(s))
+	latest := p.sets()
+	for _, b := range p.G.Blocks {
+		l := delayin[b.ID].Clone()
+		keep := p.Used[b.ID].Clone()
+		if len(b.Succs) > 0 {
+			all := meetSuccs(b, delayin, u)
+			notAll := bitset.NewFull(u)
+			notAll.SubtractWith(all)
+			keep.UnionWith(notAll)
+		} else {
+			keep.Fill()
+		}
+		l.IntersectWith(keep)
+		latest[b.ID] = l
+	}
+
+	// ISOLATED: a computation point that only feeds the use at the same
+	// node is not worth a temporary; such insertions are dropped and the
+	// use stays as an original computation.
+	isoin, isoout := p.fullSets(), p.fullSets()
+	for changed := true; changed; {
+		changed = false
+		for i := len(p.G.Blocks) - 1; i >= 0; i-- {
+			b := p.G.Blocks[i]
+			out := bitset.NewFull(u)
+			for _, s := range b.Succs {
+				e := bitset.Union(latest[s.ID], bitset.Subtract(isoin[s.ID], p.Used[s.ID]))
+				out.IntersectWith(e)
+			}
+			in := bitset.Union(latest[b.ID], bitset.Subtract(out, p.Used[b.ID]))
+			if !in.Equal(isoin[b.ID]) || !out.Equal(isoout[b.ID]) {
+				isoin[b.ID], isoout[b.ID] = in, out
+				changed = true
+			}
+		}
+	}
+
+	pl := &Placement{Insert: p.sets(), Redundant: p.sets(), Iterations: iter}
+	for _, b := range p.G.Blocks {
+		ins := bitset.Subtract(latest[b.ID], isoout[b.ID])
+		pl.Insert[b.ID] = ins
+		red := bitset.Subtract(p.Used[b.ID], bitset.Intersect(latest[b.ID], isoout[b.ID]))
+		pl.Redundant[b.ID] = red
+	}
+	return pl
+}

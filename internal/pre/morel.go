@@ -1,0 +1,94 @@
+package pre
+
+import (
+	"givetake/internal/bitset"
+	"givetake/internal/cfg"
+)
+
+// MorelRenvoise computes the original 1979 partial redundancy
+// elimination [MR79]: the bidirectional "placement possible" system.
+// The formulation iterates PPIN/PPOUT to a greatest fixpoint; unlike
+// LCM it may place computations earlier than necessary (no delay pass),
+// lengthening register lifetimes — and like LCM it is safe, so it
+// cannot hoist out of zero-trip loops.
+func (p *Problem) MorelRenvoise() *Placement {
+	u := p.Universe
+	antin, _ := p.anticipability()
+	avin, avout := p.availability()
+	pavin, pavout := p.partialAvailability()
+
+	// PPOUT(n) = ⋂_s PPIN(s);  PPOUT(exit) = ⊥
+	// PPIN(n)  = ANTIN(n) ∩ PAVIN(n)
+	//          ∩ (USED(n) ∪ (TRANSP(n) ∩ PPOUT(n)))
+	//          ∩ ⋂_p (PPOUT(p) ∪ AVOUT(p))
+	//
+	// The PAVIN (partial availability) conjunct is Morel–Renvoise's
+	// guard against useless motion: only expressions already computed on
+	// some incoming path are worth moving.
+	// PPIN(entry) additionally ⊥ (nothing can be placed before entry in
+	// the original formulation; with a dedicated entry node this keeps
+	// hoisting inside the procedure).
+	ppin, ppout := p.fullSets(), p.fullSets()
+	iter := 0
+	for changed := true; changed; {
+		changed = false
+		iter++
+		for i := len(p.G.Blocks) - 1; i >= 0; i-- {
+			b := p.G.Blocks[i]
+			out := meetSuccs(b, ppin, u)
+			in := antin[b.ID].Clone()
+			in.IntersectWith(pavin[b.ID])
+			t := bitset.Intersect(p.Transp[b.ID], out)
+			t.UnionWith(p.Used[b.ID])
+			in.IntersectWith(t)
+			if len(b.Preds) == 0 {
+				// computation may still be placed at the entry node
+				// itself (PPIN via USED), but nothing propagates above it
+			} else {
+				m := bitset.NewFull(u)
+				for _, q := range b.Preds {
+					m.IntersectWith(bitset.Union(ppout[q.ID], avout[q.ID]))
+				}
+				in.IntersectWith(m)
+			}
+			if !in.Equal(ppin[b.ID]) || !out.Equal(ppout[b.ID]) {
+				ppin[b.ID], ppout[b.ID] = in, out
+				changed = true
+			}
+		}
+	}
+
+	// INSERT at the exit of n: placement possible at exit, not already
+	// available, and not subsumable by placement at the entry.
+	// With single-statement blocks we report insertions at the entry of
+	// each successor-of-insertion point instead, to align with the other
+	// analyses: INSERT_in(n) = PPIN(n) ∩ ¬AVIN(n) ∩ ¬⋂_p(PPOUT(p)).
+	pl := &Placement{Insert: p.sets(), Redundant: p.sets(), Iterations: iter}
+	for _, b := range p.G.Blocks {
+		ins := bitset.Intersect(ppin[b.ID], bitset.Subtract(bitset.NewFull(u), avin[b.ID]))
+		if len(b.Preds) > 0 {
+			fromAbove := bitset.NewFull(u)
+			for _, q := range b.Preds {
+				fromAbove.IntersectWith(ppout[q.ID])
+			}
+			ins.SubtractWith(fromAbove)
+		}
+		pl.Insert[b.ID] = ins
+		// a use at n is redundant when the value arrives from above
+		red := bitset.Intersect(p.Used[b.ID], meetAvailOrPlaced(b, ppout, avout, u))
+		pl.Redundant[b.ID] = red
+	}
+	_ = pavout
+	return pl
+}
+
+func meetAvailOrPlaced(b *cfg.Block, ppout, avout []*bitset.Set, u int) *bitset.Set {
+	if len(b.Preds) == 0 {
+		return bitset.New(u)
+	}
+	m := bitset.NewFull(u)
+	for _, q := range b.Preds {
+		m.IntersectWith(bitset.Union(ppout[q.ID], avout[q.ID]))
+	}
+	return m
+}

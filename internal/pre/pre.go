@@ -1,0 +1,160 @@
+// Package pre implements the two classical partial redundancy
+// elimination frameworks GIVE-N-TAKE generalizes, as comparison
+// baselines: Morel–Renvoise's original bidirectional system [MR79] and
+// Knoop/Rüthing/Steffen's Lazy Code Motion [KRS92]. Both run as
+// iterative bitvector dataflow over the plain CFG (no intervals), both
+// assume atomic placement, and both are safe in the classical sense —
+// they never hoist an expression out of a potentially zero-trip loop,
+// which is exactly the limitation the paper's framework lifts (§1).
+package pre
+
+import (
+	"givetake/internal/bitset"
+	"givetake/internal/cfg"
+)
+
+// Problem describes a PRE instance over a universe of expressions.
+type Problem struct {
+	G *cfg.Graph
+	// Universe is the number of expressions.
+	Universe int
+	// Used (ANTLOC) holds the expressions evaluated at each block;
+	// Transp holds those the block does not kill. Indexed by block ID.
+	Used, Transp []*bitset.Set
+}
+
+// NewProblem allocates a problem with empty Used and full Transp sets.
+func NewProblem(g *cfg.Graph, universe int) *Problem {
+	p := &Problem{G: g, Universe: universe,
+		Used:   make([]*bitset.Set, len(g.Blocks)),
+		Transp: make([]*bitset.Set, len(g.Blocks))}
+	for _, b := range g.Blocks {
+		p.Used[b.ID] = bitset.New(universe)
+		p.Transp[b.ID] = bitset.NewFull(universe)
+	}
+	return p
+}
+
+// Placement is the result of a PRE analysis.
+type Placement struct {
+	// Insert holds, per block, the expressions to compute at its entry.
+	Insert []*bitset.Set
+	// Redundant holds, per block, the originally evaluated expressions
+	// whose value is already available (the replaced computations).
+	Redundant []*bitset.Set
+	// Iterations is the number of fixpoint sweeps, for the efficiency
+	// comparison with the single-pass elimination solver.
+	Iterations int
+}
+
+// sets allocates one bitset per block.
+func (p *Problem) sets() []*bitset.Set {
+	out := make([]*bitset.Set, len(p.G.Blocks))
+	for i := range out {
+		out[i] = bitset.New(p.Universe)
+	}
+	return out
+}
+
+func (p *Problem) fullSets() []*bitset.Set {
+	out := make([]*bitset.Set, len(p.G.Blocks))
+	for i := range out {
+		out[i] = bitset.NewFull(p.Universe)
+	}
+	return out
+}
+
+// meetPreds intersects f over the predecessors of b (⊥ for the entry).
+func meetPreds(b *cfg.Block, f []*bitset.Set, u int) *bitset.Set {
+	if len(b.Preds) == 0 {
+		return bitset.New(u)
+	}
+	m := f[b.Preds[0].ID].Clone()
+	for _, q := range b.Preds[1:] {
+		m.IntersectWith(f[q.ID])
+	}
+	return m
+}
+
+// meetSuccs intersects f over the successors of b (⊥ for the exit).
+func meetSuccs(b *cfg.Block, f []*bitset.Set, u int) *bitset.Set {
+	if len(b.Succs) == 0 {
+		return bitset.New(u)
+	}
+	m := f[b.Succs[0].ID].Clone()
+	for _, q := range b.Succs[1:] {
+		m.IntersectWith(f[q.ID])
+	}
+	return m
+}
+
+// availability computes AVIN/AVOUT (up-safety): an expression is
+// available when it was computed on every incoming path and not killed
+// since.
+func (p *Problem) availability() (avin, avout []*bitset.Set) {
+	avin, avout = p.sets(), p.fullSets()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range p.G.Blocks {
+			in := meetPreds(b, avout, p.Universe)
+			// one statement per block: uses happen before kills, so a
+			// used-but-killed expression is not available on exit
+			out := bitset.Union(p.Used[b.ID], in)
+			out.IntersectWith(p.Transp[b.ID])
+			if !in.Equal(avin[b.ID]) || !out.Equal(avout[b.ID]) {
+				avin[b.ID], avout[b.ID] = in, out
+				changed = true
+			}
+		}
+	}
+	return
+}
+
+// partialAvailability computes PAVIN/PAVOUT: an expression is partially
+// available when it was computed on at least one incoming path and not
+// killed since (union meet).
+func (p *Problem) partialAvailability() (pavin, pavout []*bitset.Set) {
+	pavin, pavout = p.sets(), p.sets()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range p.G.Blocks {
+			in := bitset.New(p.Universe)
+			for _, q := range b.Preds {
+				in.UnionWith(pavout[q.ID])
+			}
+			out := bitset.Union(p.Used[b.ID], in)
+			out.IntersectWith(p.Transp[b.ID])
+			if !in.Equal(pavin[b.ID]) || !out.Equal(pavout[b.ID]) {
+				pavin[b.ID], pavout[b.ID] = in, out
+				changed = true
+			}
+		}
+	}
+	return
+}
+
+// anticipability computes ANTIN/ANTOUT (down-safety): an expression is
+// anticipated when it is evaluated on every outgoing path before being
+// killed.
+func (p *Problem) anticipability() (antin, antout []*bitset.Set) {
+	antin, antout = p.fullSets(), p.sets()
+	for _, b := range p.G.Blocks {
+		if len(b.Succs) == 0 {
+			antin[b.ID] = p.Used[b.ID].Clone()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(p.G.Blocks) - 1; i >= 0; i-- {
+			b := p.G.Blocks[i]
+			out := meetSuccs(b, antin, p.Universe)
+			in := bitset.Intersect(out, p.Transp[b.ID])
+			in.UnionWith(p.Used[b.ID])
+			if !in.Equal(antin[b.ID]) || !out.Equal(antout[b.ID]) {
+				antin[b.ID], antout[b.ID] = in, out
+				changed = true
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,229 @@
+// Package progen generates random structured mini-Fortran programs for
+// property-based testing and for the O(E) scaling experiments. Generated
+// programs use only the control-flow shapes the frontend admits — nested
+// DO loops, IF/ELSE, forward GOTOs out of loops — so every program lowers
+// to a valid interval flow graph.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"givetake/internal/frontend"
+	"givetake/internal/ir"
+)
+
+// Config tunes the generator. The zero value is filled with defaults.
+type Config struct {
+	// Stmts is the approximate number of statements to generate.
+	Stmts int
+	// MaxDepth bounds loop/if nesting.
+	MaxDepth int
+	// PLoop, PIf, PGoto are per-slot probabilities of generating a DO
+	// loop, an IF, or (inside a loop) a conditional jump out of it.
+	PLoop, PIf, PGoto float64
+	// Arrays switches assignment bodies from scalar temporaries to
+	// distributed-array references/definitions, producing programs the
+	// communication generator has real work on.
+	Arrays bool
+	// Exprs makes assignments draw compound right-hand sides from a
+	// small operand pool (with occasional operand kills), producing
+	// programs with genuine common subexpressions and partial
+	// redundancies for the PRE comparison experiments.
+	Exprs bool
+}
+
+func (c *Config) fill() {
+	if c.Stmts == 0 {
+		c.Stmts = 30
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 4
+	}
+	if c.PLoop == 0 {
+		c.PLoop = 0.25
+	}
+	if c.PIf == 0 {
+		c.PIf = 0.2
+	}
+	if c.PGoto == 0 {
+		c.PGoto = 0.1
+	}
+}
+
+// Generate produces a random program from the seed. The same seed and
+// config always produce the same program.
+func Generate(seed int64, cfg Config) *ir.Program {
+	cfg.fill()
+	g := &generator{r: rand.New(rand.NewSource(seed)), cfg: cfg, budget: cfg.Stmts}
+	var b strings.Builder
+	if cfg.Arrays {
+		b.WriteString("distributed x(1000), y(1000), z(1000)\n")
+		b.WriteString("real a(1000), b(1000)\n")
+	}
+	g.stmts(&b, 0, 0, false)
+	// a trailing anchor for any pending gotos
+	for _, l := range g.pendingLabels {
+		fmt.Fprintf(&b, "%s continue\n", l)
+	}
+	src := b.String()
+	prog, err := frontend.Parse(src)
+	if err != nil {
+		// A generator bug, not an input condition: fail loudly with the
+		// offending program attached.
+		panic(fmt.Sprintf("progen: generated invalid program: %v\n%s", err, src))
+	}
+	return prog
+}
+
+// GenerateSource is Generate but returns the program text, for tools.
+func GenerateSource(seed int64, cfg Config) string {
+	return ir.ProgramString(Generate(seed, cfg))
+}
+
+type generator struct {
+	r      *rand.Rand
+	cfg    Config
+	budget int
+	vars   int
+	labels int
+	// pendingLabels are labels referenced by emitted GOTOs whose anchor
+	// statement has not been emitted yet; they are resolved at the first
+	// opportunity at the right nesting depth.
+	pendingLabels []string
+	loopVars      []string
+}
+
+func (g *generator) indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func (g *generator) freshVar() string {
+	g.vars++
+	return fmt.Sprintf("t%d", g.vars)
+}
+
+func (g *generator) freshLabel() string {
+	g.labels++
+	return fmt.Sprintf("%d", g.labels*10)
+}
+
+// takeLabel pops a pending goto label to anchor here, if any.
+func (g *generator) takeLabel() string {
+	if len(g.pendingLabels) == 0 {
+		return ""
+	}
+	l := g.pendingLabels[0]
+	g.pendingLabels = g.pendingLabels[1:]
+	return l
+}
+
+// stmts emits a statement list at the given nesting depth. inLoop marks
+// that at least one DO loop encloses this position, enabling GOTOs.
+// Pending labels may only anchor at loop depth zero relative to where the
+// goto was emitted; we keep it simple and resolve them only at depth
+// loopDepth == 0.
+func (g *generator) stmts(b *strings.Builder, depth, loopDepth int, inLoop bool) {
+	// nested lists are short; the top level drains the whole budget
+	count := 1 + g.r.Intn(3)
+	if depth == 0 {
+		count = g.budget
+	}
+	for i := 0; i < count && g.budget > 0; i++ {
+		g.budget--
+		// resolve pending labels only at the top level: a label inside
+		// any construct would make the goto a forbidden jump into a
+		// block (frontend.Check mirrors Fortran 77 here)
+		label := ""
+		if depth == 0 {
+			label = g.takeLabel()
+		}
+		switch {
+		case depth < g.cfg.MaxDepth && g.r.Float64() < g.cfg.PLoop:
+			v := string(rune('i' + (depth % 4)))
+			g.indent(b, depth)
+			if label != "" {
+				fmt.Fprintf(b, "%s ", label)
+			}
+			fmt.Fprintf(b, "do %s%d = 1, n\n", v, depth)
+			g.loopVars = append(g.loopVars, fmt.Sprintf("%s%d", v, depth))
+			g.stmts(b, depth+1, loopDepth+1, true)
+			g.loopVars = g.loopVars[:len(g.loopVars)-1]
+			g.indent(b, depth)
+			b.WriteString("enddo\n")
+		case depth < g.cfg.MaxDepth && g.r.Float64() < g.cfg.PIf:
+			g.indent(b, depth)
+			if label != "" {
+				fmt.Fprintf(b, "%s ", label)
+			}
+			fmt.Fprintf(b, "if (c%d) then\n", g.r.Intn(4))
+			g.stmts(b, depth+1, loopDepth, inLoop)
+			if g.r.Intn(2) == 0 {
+				g.indent(b, depth)
+				b.WriteString("else\n")
+				g.stmts(b, depth+1, loopDepth, inLoop)
+			}
+			g.indent(b, depth)
+			b.WriteString("endif\n")
+		case inLoop && loopDepth > 0 && g.r.Float64() < g.cfg.PGoto:
+			// conditional jump out of the enclosing loop nest
+			l := g.freshLabel()
+			g.pendingLabels = append(g.pendingLabels, l)
+			g.indent(b, depth)
+			if label != "" {
+				fmt.Fprintf(b, "%s ", label)
+			}
+			fmt.Fprintf(b, "if (e%d) goto %s\n", g.r.Intn(4), l)
+		default:
+			g.indent(b, depth)
+			if label != "" {
+				fmt.Fprintf(b, "%s ", label)
+			}
+			b.WriteString(g.assignment())
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// assignment returns one assignment statement's text.
+func (g *generator) assignment() string {
+	if g.cfg.Exprs {
+		ops := []string{"b + c", "b * d", "c + d", "b + c + d", "c * c"}
+		if g.r.Intn(6) == 0 {
+			// kill an operand so redundancy chains break realistically
+			return fmt.Sprintf("%s = %d", []string{"b", "c", "d"}[g.r.Intn(3)], g.r.Intn(50))
+		}
+		return fmt.Sprintf("%s = %s", g.freshVar(), ops[g.r.Intn(len(ops))])
+	}
+	if !g.cfg.Arrays {
+		return fmt.Sprintf("%s = %d", g.freshVar(), g.r.Intn(100))
+	}
+	sub := g.subscript()
+	arr := []string{"x", "y", "z"}[g.r.Intn(3)]
+	switch g.r.Intn(3) {
+	case 0: // distributed reference
+		return fmt.Sprintf("%s = %s(%s)", g.freshVar(), arr, sub)
+	case 1: // distributed definition
+		return fmt.Sprintf("%s(%s) = %d", arr, sub, g.r.Intn(100))
+	default: // local work
+		return fmt.Sprintf("a(%s) = b(%s)", sub, g.subscript())
+	}
+}
+
+func (g *generator) subscript() string {
+	if len(g.loopVars) == 0 || g.r.Intn(3) == 0 {
+		return fmt.Sprintf("%d", 1+g.r.Intn(20))
+	}
+	v := g.loopVars[g.r.Intn(len(g.loopVars))]
+	switch g.r.Intn(3) {
+	case 0:
+		return v
+	case 1:
+		return fmt.Sprintf("%s + %d", v, 1+g.r.Intn(10))
+	default:
+		return fmt.Sprintf("a(%s)", v) // indirect reference
+	}
+}

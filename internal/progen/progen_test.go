@@ -1,0 +1,87 @@
+package progen
+
+import (
+	"testing"
+
+	"givetake/internal/cfg"
+	"givetake/internal/interval"
+	"givetake/internal/ir"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := GenerateSource(7, Config{Stmts: 40})
+	b := GenerateSource(7, Config{Stmts: 40})
+	if a != b {
+		t.Fatal("same seed must generate the same program")
+	}
+	c := GenerateSource(8, Config{Stmts: 40})
+	if a == c {
+		t.Fatal("different seeds should generate different programs")
+	}
+}
+
+func TestGeneratedProgramsLower(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		prog := Generate(seed, Config{Stmts: 25, MaxDepth: 3})
+		g, err := cfg.Build(prog)
+		if err != nil {
+			t.Fatalf("seed %d: cfg: %v\n%s", seed, err, ir.ProgramString(prog))
+		}
+		if _, err := interval.FromCFG(g); err != nil {
+			t.Fatalf("seed %d: interval: %v\n%s", seed, err, ir.ProgramString(prog))
+		}
+	}
+}
+
+func TestArrayMode(t *testing.T) {
+	prog := Generate(3, Config{Stmts: 40, Arrays: true})
+	if !prog.Distributed("x") || !prog.Distributed("y") || !prog.Distributed("z") {
+		t.Fatal("array mode should declare distributed arrays")
+	}
+	refs := 0
+	ir.WalkStmts(prog.Body, func(s ir.Stmt) bool {
+		if a, ok := s.(*ir.Assign); ok {
+			for _, r := range ir.ArrayRefs(a.RHS) {
+				if prog.Distributed(r.Name) {
+					refs++
+				}
+			}
+			if l, ok := a.LHS.(*ir.ArrayRef); ok && prog.Distributed(l.Name) {
+				refs++
+			}
+		}
+		return true
+	})
+	if refs == 0 {
+		t.Fatal("array mode should generate distributed references")
+	}
+}
+
+func TestSizeScaling(t *testing.T) {
+	small := Generate(1, Config{Stmts: 10})
+	large := Generate(1, Config{Stmts: 300})
+	count := func(p *ir.Program) int {
+		n := 0
+		ir.WalkStmts(p.Body, func(ir.Stmt) bool { n++; return true })
+		return n
+	}
+	if count(large) <= count(small) {
+		t.Fatalf("Stmts config should scale program size: %d vs %d", count(small), count(large))
+	}
+}
+
+func TestGotosGenerated(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 30 && !found; seed++ {
+		prog := Generate(seed, Config{Stmts: 40, PGoto: 0.5, PLoop: 0.5})
+		ir.WalkStmts(prog.Body, func(s ir.Stmt) bool {
+			if _, ok := s.(*ir.Goto); ok {
+				found = true
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Fatal("generator never produced a goto at high PGoto")
+	}
+}

@@ -1,0 +1,239 @@
+package sections
+
+import (
+	"testing"
+
+	"givetake/internal/frontend"
+	"givetake/internal/ir"
+	"givetake/internal/vn"
+)
+
+func sub(t *testing.T, s string) ir.Expr {
+	t.Helper()
+	stmts, err := frontend.ParseStmts("q = " + s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmts[0].(*ir.Assign).RHS
+}
+
+func loopRanges() map[string]LoopRange {
+	one := &ir.IntLit{Value: 1}
+	n := &ir.Ident{Name: "n"}
+	return map[string]LoopRange{"k": {Lo: one, Hi: n}}
+}
+
+func TestItemInterning(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	one := &ir.IntLit{Value: 1}
+	n := &ir.Ident{Name: "n"}
+
+	pop := env.PushLoop("k", one, n, nil)
+	a := u.ItemFor("x", []ir.Expr{sub(t, "a(k)")}, env, map[string]LoopRange{"k": {Lo: one, Hi: n}})
+	pop()
+
+	pop = env.PushLoop("l", one, n, nil)
+	b := u.ItemFor("x", []ir.Expr{sub(t, "a(l)")}, env, map[string]LoopRange{"l": {Lo: one, Hi: n}})
+	pop()
+
+	if a == nil || b == nil || a.ID != b.ID {
+		t.Fatalf("x(a(k)) and x(a(l)) should intern to one item: %v vs %v", a, b)
+	}
+	if u.Size() != 1 {
+		t.Fatalf("universe size = %d, want 1", u.Size())
+	}
+	if got := a.String(); got != "x(a(1:n))" {
+		t.Fatalf("item prints as %q, want x(a(1:n))", got)
+	}
+	if !a.Indirect() || !a.UsesArray("a") || a.UsesArray("b") {
+		t.Fatal("indirection tracking wrong")
+	}
+}
+
+// TestSectionPrinting reproduces the paper's notations: x(k+10) under
+// do k=1,N prints x(11:n + 10) (Figure 14's x(11:N+10)).
+func TestSectionPrinting(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	pop := env.PushLoop("k", &ir.IntLit{Value: 1}, &ir.Ident{Name: "n"}, nil)
+	it := u.ItemFor("x", []ir.Expr{sub(t, "k + 10")}, env, loopRanges())
+	pop()
+	if got := it.String(); got != "x(11:n + 10)" {
+		t.Fatalf("item prints as %q, want x(11:n + 10)", got)
+	}
+	// scalar subscript: no triplet
+	it2 := u.ItemFor("x", []ir.Expr{sub(t, "7")}, vn.NewEnv(u.Tab), nil)
+	if got := it2.String(); got != "x(7)" {
+		t.Fatalf("item prints as %q, want x(7)", got)
+	}
+}
+
+func TestNumericBounds(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	pop := env.PushLoop("k", &ir.IntLit{Value: 1}, &ir.IntLit{Value: 10}, nil)
+	it := u.ItemFor("x", []ir.Expr{sub(t, "k + 5")}, env, nil)
+	pop()
+	lo, hi, ok := it.NumericBounds(0)
+	if !ok || lo != 6 || hi != 15 {
+		t.Fatalf("bounds = %d..%d ok=%v, want 6..15", lo, hi, ok)
+	}
+}
+
+func TestMayOverlap(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+
+	x1 := u.ItemFor("x", []ir.Expr{sub(t, "1")}, env, nil)
+	x2 := u.ItemFor("x", []ir.Expr{sub(t, "2")}, env, nil)
+	y1 := u.ItemFor("y", []ir.Expr{sub(t, "1")}, env, nil)
+	xs := u.ItemFor("x", []ir.Expr{sub(t, "m")}, env, nil) // symbolic
+
+	pop := env.PushLoop("k", &ir.IntLit{Value: 1}, &ir.IntLit{Value: 5}, nil)
+	xlo := u.ItemFor("x", []ir.Expr{sub(t, "k")}, env, nil) // x(1:5)
+	pop()
+	pop = env.PushLoop("k", &ir.IntLit{Value: 10}, &ir.IntLit{Value: 20}, nil)
+	xhi := u.ItemFor("x", []ir.Expr{sub(t, "k")}, env, nil) // x(10:20)
+	pop()
+
+	cases := []struct {
+		a, b *Item
+		want bool
+	}{
+		{x1, x1, true},    // same item
+		{x1, x2, false},   // disjoint constants
+		{x1, y1, false},   // different arrays
+		{x1, xs, true},    // symbolic may overlap
+		{xlo, xhi, false}, // disjoint constant ranges
+		{xlo, x2, true},   // 2 ∈ 1..5
+	}
+	for _, c := range cases {
+		if got := MayOverlap(c.a, c.b); got != c.want {
+			t.Errorf("MayOverlap(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInvalidSubscript(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	if it := u.ItemFor("x", []ir.Expr{&ir.Ellipsis{}}, env, nil); it != nil {
+		t.Fatal("ellipsis subscript should yield no item")
+	}
+	if it := u.ItemFor("x", nil, env, nil); it != nil {
+		t.Fatal("empty subscript list should yield no item")
+	}
+}
+
+// --- stride-aware behavior -------------------------------------------------
+
+func TestStridedSectionPrinting(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	two := &ir.IntLit{Value: 2}
+	pop := env.PushLoop("k", &ir.IntLit{Value: 1}, &ir.Ident{Name: "n"}, two)
+	it := u.ItemFor("x", []ir.Expr{sub(t, "k")}, env,
+		map[string]LoopRange{"k": {Lo: &ir.IntLit{Value: 1}, Hi: &ir.Ident{Name: "n"}, Step: two}})
+	pop()
+	if got := it.String(); got != "x(1:n:2)" {
+		t.Fatalf("strided section prints as %q, want x(1:n:2)", got)
+	}
+}
+
+func TestScaledStridePrinting(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	pop := env.PushLoop("k", &ir.IntLit{Value: 1}, &ir.Ident{Name: "n"}, nil)
+	it := u.ItemFor("x", []ir.Expr{sub(t, "2 * k")}, env,
+		map[string]LoopRange{"k": {Lo: &ir.IntLit{Value: 1}, Hi: &ir.Ident{Name: "n"}}})
+	pop()
+	if got := it.String(); got != "x(2:2 * n:2)" {
+		t.Fatalf("scaled section prints as %q", got)
+	}
+}
+
+// TestStrideDisjointness: x(2k) and x(2k+1) never collide, even with a
+// symbolic bound n — different residues of the common stride 2.
+func TestStrideDisjointness(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	one := &ir.IntLit{Value: 1}
+	n := &ir.Ident{Name: "n"}
+
+	pop := env.PushLoop("k", one, n, nil)
+	even := u.ItemFor("x", []ir.Expr{sub(t, "2 * k")}, env, nil)
+	odd := u.ItemFor("x", []ir.Expr{sub(t, "2 * k + 1")}, env, nil)
+	alsoEven := u.ItemFor("x", []ir.Expr{sub(t, "2 * k + 4")}, env, nil)
+	dense := u.ItemFor("x", []ir.Expr{sub(t, "k")}, env, nil)
+	pop()
+
+	if u.MayOverlap(even, odd) {
+		t.Fatal("x(2k) and x(2k+1) should be provably disjoint")
+	}
+	if !u.MayOverlap(even, alsoEven) {
+		t.Fatal("x(2k) and x(2k+4) share residue class 0: may overlap")
+	}
+	if !u.MayOverlap(even, dense) {
+		t.Fatal("x(2k) and x(k) may overlap (stride 1 covers everything)")
+	}
+	if !u.MayOverlap(even, even) {
+		t.Fatal("an item overlaps itself")
+	}
+}
+
+// TestStrideDisjointnessConstVsStrided: x(2k) vs the constant x(7).
+func TestStrideDisjointnessConstVsStrided(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	pop := env.PushLoop("k", &ir.IntLit{Value: 1}, &ir.Ident{Name: "n"}, nil)
+	even := u.ItemFor("x", []ir.Expr{sub(t, "2 * k")}, env, nil)
+	pop()
+	odd7 := u.ItemFor("x", []ir.Expr{sub(t, "7")}, env, nil)
+	even8 := u.ItemFor("x", []ir.Expr{sub(t, "8")}, env, nil)
+	if u.MayOverlap(even, odd7) {
+		t.Fatal("x(2k) cannot be 7")
+	}
+	if !u.MayOverlap(even, even8) {
+		t.Fatal("x(2k) can be 8")
+	}
+}
+
+// TestStridedLoopDisjointness: do k = 1, n, 2 gives x(k) odd residues.
+func TestStridedLoopDisjointness(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	two := &ir.IntLit{Value: 2}
+	one := &ir.IntLit{Value: 1}
+	n := &ir.Ident{Name: "n"}
+
+	pop := env.PushLoop("k", one, n, two) // k = 1, 3, 5, ...
+	odds := u.ItemFor("x", []ir.Expr{sub(t, "k")}, env, nil)
+	pop()
+	pop = env.PushLoop("k", two, n, two) // k = 2, 4, 6, ...
+	evens := u.ItemFor("x", []ir.Expr{sub(t, "k")}, env, nil)
+	pop()
+	if u.MayOverlap(odds, evens) {
+		t.Fatal("odd-strided and even-strided loops over x should be disjoint")
+	}
+}
+
+// TestNoFalseDisjointnessAcrossVariables: k + j over two loops with
+// identical ranges must NOT be classified as strided — value numbering
+// identifies ranges, not variables, and k+j ranges densely. (Regression
+// for an Affine soundness bug caught by the test suite.)
+func TestNoFalseDisjointnessAcrossVariables(t *testing.T) {
+	u := NewUniverse()
+	env := vn.NewEnv(u.Tab)
+	one := &ir.IntLit{Value: 1}
+	n := &ir.Ident{Name: "n"}
+	popK := env.PushLoop("k", one, n, nil)
+	popJ := env.PushLoop("j", one, n, nil)
+	a := u.ItemFor("x", []ir.Expr{sub(t, "k + j")}, env, nil)
+	b := u.ItemFor("x", []ir.Expr{sub(t, "k + j + 1")}, env, nil)
+	popJ()
+	popK()
+	if !u.MayOverlap(a, b) {
+		t.Fatal("x(k+j) and x(k+j+1) must be treated as overlapping (k=1,j=2 vs k=1,j=1 collide)")
+	}
+}

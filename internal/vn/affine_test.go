@@ -1,0 +1,153 @@
+package vn
+
+import (
+	"testing"
+
+	"givetake/internal/ir"
+)
+
+// Affine decomposition underpins stride-based section disjointness.
+
+func affEnv(t *testing.T) (*Table, *Env, func()) {
+	t.Helper()
+	tab := NewTable()
+	env := NewEnv(tab)
+	pop := env.PushLoop("k", &ir.IntLit{Value: 1}, &ir.Ident{Name: "n"}, nil)
+	return tab, env, pop
+}
+
+func TestAffineForms(t *testing.T) {
+	tab, env, pop := affEnv(t)
+	defer pop()
+
+	cases := []struct {
+		src           string
+		coeff, offset int64
+		hasIota       bool
+	}{
+		{"7", 0, 7, false},
+		{"k", 1, 0, true},
+		{"k + 3", 1, 3, true},
+		{"3 + k", 1, 3, true},
+		{"k - 4", 1, -4, true},
+		{"2 * k", 2, 0, true},
+		{"k * 2", 2, 0, true},
+		{"2 * k + 5", 2, 5, true},
+		{"5 - k", -1, 5, true},
+	}
+	for _, c := range cases {
+		n := env.Number(parseExpr(t, c.src))
+		coeff, offset, iota, ok := tab.Affine(n)
+		if !ok {
+			t.Errorf("Affine(%q) failed", c.src)
+			continue
+		}
+		if coeff != c.coeff || offset != c.offset || (iota != Invalid) != c.hasIota {
+			t.Errorf("Affine(%q) = (%d, %d, iota=%v), want (%d, %d, iota=%v)",
+				c.src, coeff, offset, iota != Invalid, c.coeff, c.offset, c.hasIota)
+		}
+	}
+}
+
+func TestAffineRejects(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	one := &ir.IntLit{Value: 1}
+	n := &ir.Ident{Name: "n"}
+	popK := env.PushLoop("k", one, n, nil)
+	popJ := env.PushLoop("j", one, n, nil)
+	defer popJ()
+	defer popK()
+
+	for _, src := range []string{
+		"k + j",         // two induction variables
+		"k * j",         // product of variables
+		"m + k",         // free symbol
+		"a(k)",          // indirect
+		"k / 2",         // division is not affine here
+		"3 * k - 2 * k", // ambiguous: could be 3k−2j over equal ranges
+	} {
+		num := env.Number(parseExpr(t, src))
+		if num == Invalid {
+			continue // some shapes do not even number; also fine
+		}
+		if _, _, _, ok := tab.Affine(num); ok {
+			t.Errorf("Affine(%q) should fail", src)
+		}
+	}
+}
+
+func TestOpAccessor(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	n := env.Number(parseExpr(t, "m + p"))
+	op, x, y, ok := tab.Op(n)
+	if !ok || op != "+" {
+		t.Fatalf("Op = %q ok=%v", op, ok)
+	}
+	if tab.Key(x) == tab.Key(y) {
+		t.Fatal("operands should differ")
+	}
+	if _, _, _, ok := tab.Op(tab.Const(3)); ok {
+		t.Fatal("constants have no Op")
+	}
+	if _, _, _, ok := tab.Op(Invalid); ok {
+		t.Fatal("Invalid has no Op")
+	}
+}
+
+func TestRangeOfStep(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	two := &ir.IntLit{Value: 2}
+	pop := env.PushLoop("k", &ir.IntLit{Value: 1}, &ir.IntLit{Value: 9}, two)
+	defer pop()
+	n := env.Number(parseExpr(t, "k"))
+	r, ok := tab.RangeOf(n)
+	if !ok {
+		t.Fatal("iota should have a range")
+	}
+	if v, _ := tab.ConstVal(r.Step); v != 2 {
+		t.Fatalf("step = %d, want 2", v)
+	}
+	if v, _ := tab.ConstVal(r.Lo); v != 1 {
+		t.Fatalf("lo = %d, want 1", v)
+	}
+}
+
+func TestKeyInvalid(t *testing.T) {
+	tab := NewTable()
+	if tab.Key(Invalid) != "<invalid>" {
+		t.Fatal("Key(Invalid)")
+	}
+	if tab.Key(999) != "<invalid>" {
+		t.Fatal("Key out of range")
+	}
+}
+
+func TestMultiDimElems(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	a := env.Number(parseExpr(t, "u(1, 2)"))
+	b := env.Number(parseExpr(t, "u(1, 2)"))
+	c := env.Number(parseExpr(t, "u(2, 1)"))
+	if a != b {
+		t.Fatal("identical 2-D refs should share a number")
+	}
+	if a == c {
+		t.Fatal("transposed subscripts must differ")
+	}
+	if tab.Elem("u", Invalid, tab.Const(1)) != Invalid {
+		t.Fatal("Invalid subscript must poison the element")
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	tab, env, pop := affEnv(t)
+	defer pop()
+	n := env.Number(parseExpr(t, "-k"))
+	coeff, offset, iota, ok := tab.Affine(n)
+	if !ok || coeff != -1 || offset != 0 || iota == Invalid {
+		t.Fatalf("Affine(-k) = (%d,%d,%v,%v)", coeff, offset, iota, ok)
+	}
+}

@@ -1,0 +1,308 @@
+// Package vn implements hash-consed value numbering of subscript
+// expressions, the mechanism behind the paper's "value number based data
+// flow universe" (§2, [Han93]): two distributed-array references denote
+// the same communication item exactly when their subscripts have the
+// same value number after normalizing enclosing-loop induction variables
+// to their ranges.
+//
+// This is what lets the Figure 2 placement recognize x(a(k)) in
+// "do k = 1, N" and x(a(l)) in "do l = 1, N" as one item — both
+// normalize to x(a(⟨1:N⟩)) — and lets x(k+10) become the section
+// x(11:N+10).
+package vn
+
+import (
+	"fmt"
+
+	"givetake/internal/ir"
+)
+
+// Num is a value number; equal numbers mean provably equal values.
+type Num int
+
+// Invalid is returned for expressions the numberer cannot handle.
+const Invalid Num = -1
+
+// Range describes a loop induction variable's value set lo..hi:step
+// (inclusive), with bounds and stride given by value numbers.
+type Range struct {
+	Lo, Hi, Step Num
+}
+
+// defKind discriminates the structure of an interned number.
+type defKind int
+
+const (
+	defConst defKind = iota
+	defSym
+	defIota
+	defBin
+	defElem
+)
+
+type def struct {
+	kind  defKind
+	key   string
+	cval  int64  // defConst
+	op    string // defBin
+	x, y  Num    // defBin operands
+	subs  []Num  // defElem subscripts
+	array string // defElem
+}
+
+// Table hash-conses expressions into value numbers and retains their
+// structure, so clients (sections) can decompose numbers into affine
+// forms without parsing keys.
+type Table struct {
+	byKey map[string]Num
+	defs  []def
+	// ranges created by Iota, so sections can recover bounds
+	ranges map[Num]Range
+}
+
+// NewTable returns an empty value-number table.
+func NewTable() *Table {
+	return &Table{byKey: map[string]Num{}, ranges: map[Num]Range{}}
+}
+
+func (t *Table) intern(d def) Num {
+	if n, ok := t.byKey[d.key]; ok {
+		return n
+	}
+	n := Num(len(t.defs))
+	t.byKey[d.key] = n
+	t.defs = append(t.defs, d)
+	return n
+}
+
+// Key returns the canonical key of a value number (stable within one
+// table; useful for debugging and as map keys across analyses).
+func (t *Table) Key(n Num) string {
+	if n < 0 || int(n) >= len(t.defs) {
+		return "<invalid>"
+	}
+	return t.defs[n].key
+}
+
+// Bin decomposition: Op reports the operator and operands of a binary
+// number.
+func (t *Table) Op(n Num) (op string, x, y Num, ok bool) {
+	if n < 0 || int(n) >= len(t.defs) || t.defs[n].kind != defBin {
+		return "", 0, 0, false
+	}
+	d := t.defs[n]
+	return d.op, d.x, d.y, true
+}
+
+// Const returns the value number of an integer constant.
+func (t *Table) Const(v int64) Num {
+	return t.intern(def{kind: defConst, key: fmt.Sprintf("c%d", v), cval: v})
+}
+
+// Sym returns the value number of a free symbolic variable (a scalar
+// whose value is unknown but fixed, like the paper's N).
+func (t *Table) Sym(name string) Num {
+	return t.intern(def{kind: defSym, key: "s:" + name})
+}
+
+// Iota returns the value number of a loop induction variable ranging
+// over lo..hi with the given step: references that differ only in the
+// name of such a variable receive equal numbers.
+func (t *Table) Iota(lo, hi, step Num) Num {
+	n := t.intern(def{kind: defIota, key: fmt.Sprintf("iota(%d,%d,%d)", lo, hi, step)})
+	t.ranges[n] = Range{Lo: lo, Hi: hi, Step: step}
+	return n
+}
+
+// RangeOf returns the range of an Iota number, if n is one.
+func (t *Table) RangeOf(n Num) (Range, bool) {
+	r, ok := t.ranges[n]
+	return r, ok
+}
+
+// Bin returns the value number of x op y, normalizing commutative
+// operators by ordering operands.
+func (t *Table) Bin(op string, x, y Num) Num {
+	if x == Invalid || y == Invalid {
+		return Invalid
+	}
+	if (op == "+" || op == "*") && y < x {
+		x, y = y, x
+	}
+	// constant folding for + - * on known constants
+	if xv, xok := t.constVal(x); xok {
+		if yv, yok := t.constVal(y); yok {
+			switch op {
+			case "+":
+				return t.Const(xv + yv)
+			case "-":
+				return t.Const(xv - yv)
+			case "*":
+				return t.Const(xv * yv)
+			}
+		}
+	}
+	// x + 0, x - 0, x * 1 identities
+	if v, ok := t.constVal(y); ok {
+		if (v == 0 && (op == "+" || op == "-")) || (v == 1 && op == "*") {
+			return x
+		}
+	}
+	if v, ok := t.constVal(x); ok && v == 0 && op == "+" {
+		return y
+	}
+	return t.intern(def{kind: defBin, key: fmt.Sprintf("(%s %d %d)", op, x, y), op: op, x: x, y: y})
+}
+
+// Elem returns the value number of an array element load a(s1, s2, ...).
+func (t *Table) Elem(array string, subs ...Num) Num {
+	key := array + "["
+	for i, sub := range subs {
+		if sub == Invalid {
+			return Invalid
+		}
+		if i > 0 {
+			key += ","
+		}
+		key += fmt.Sprintf("%d", sub)
+	}
+	key += "]"
+	return t.intern(def{kind: defElem, key: key, array: array, subs: append([]Num(nil), subs...)})
+}
+
+func (t *Table) constVal(n Num) (int64, bool) {
+	if n < 0 || int(n) >= len(t.defs) || t.defs[n].kind != defConst {
+		return 0, false
+	}
+	return t.defs[n].cval, true
+}
+
+// ConstVal reports the constant value of n, if it is one.
+func (t *Table) ConstVal(n Num) (int64, bool) { return t.constVal(n) }
+
+// Affine decomposes n as coeff·iota + offset over a single induction
+// variable with constant coefficient and offset. For constants it
+// returns (0, c, Invalid, true). Forms it cannot decompose yield
+// ok=false.
+func (t *Table) Affine(n Num) (coeff, offset int64, iota Num, ok bool) {
+	if v, isConst := t.constVal(n); isConst {
+		return 0, v, Invalid, true
+	}
+	if _, isIota := t.ranges[n]; isIota {
+		return 1, 0, n, true
+	}
+	op, x, y, isBin := t.Op(n)
+	if !isBin {
+		return 0, 0, Invalid, false
+	}
+	cx, ox, ix, okx := t.Affine(x)
+	cy, oy, iy, oky := t.Affine(y)
+	if !okx || !oky {
+		return 0, 0, Invalid, false
+	}
+	switch op {
+	case "+", "-":
+		sign := int64(1)
+		if op == "-" {
+			sign = -1
+		}
+		switch {
+		case ix == Invalid:
+			return sign * cy, ox + sign*oy, iy, true
+		case iy == Invalid:
+			return cx, ox + sign*oy, ix, true
+		default:
+			// Two iota terms cannot be combined soundly even when their
+			// numbers are equal: value numbering identifies *ranges*, not
+			// variables, so "k + j" over identical loops k and j gets the
+			// same iota twice yet ranges densely over 2..2n — treating it
+			// as 2·iota (stride 2) would prove false disjointness.
+			return 0, 0, Invalid, false
+		}
+	case "*":
+		switch {
+		case ix == Invalid:
+			return ox * cy, ox * oy, iy, true
+		case iy == Invalid:
+			return cx * oy, ox * oy, ix, true
+		default:
+			return 0, 0, Invalid, false
+		}
+	default:
+		return 0, 0, Invalid, false
+	}
+}
+
+// Env binds induction variables in scope to their ranges and remembers
+// which scalars have been assigned (killing their symbolic identity).
+type Env struct {
+	tab    *Table
+	loops  map[string]Num // loop var -> iota number
+	killed map[string]int // scalar -> generation (for assigned scalars)
+}
+
+// NewEnv returns an environment over the given table.
+func NewEnv(t *Table) *Env {
+	return &Env{tab: t, loops: map[string]Num{}, killed: map[string]int{}}
+}
+
+// PushLoop enters a loop over variable v with bound expressions lo, hi
+// and optional step (nil means 1), and returns a function that leaves it.
+func (e *Env) PushLoop(v string, lo, hi, step ir.Expr) (pop func()) {
+	old, had := e.loops[v]
+	stepNum := e.tab.Const(1)
+	if step != nil {
+		stepNum = e.Number(step)
+	}
+	e.loops[v] = e.tab.Iota(e.Number(lo), e.Number(hi), stepNum)
+	return func() {
+		if had {
+			e.loops[v] = old
+		} else {
+			delete(e.loops, v)
+		}
+	}
+}
+
+// Kill records an assignment to scalar v: later uses get a fresh
+// generation so they no longer compare equal to earlier ones.
+func (e *Env) Kill(v string) { e.killed[v]++ }
+
+// Number computes the value number of an expression in this environment.
+// Unsupported shapes (ellipsis, comparisons) yield Invalid.
+func (e *Env) Number(x ir.Expr) Num {
+	switch x := x.(type) {
+	case nil:
+		return Invalid
+	case *ir.IntLit:
+		return e.tab.Const(x.Value)
+	case *ir.Ident:
+		if n, ok := e.loops[x.Name]; ok {
+			return n
+		}
+		if g := e.killed[x.Name]; g > 0 {
+			return e.tab.Sym(fmt.Sprintf("%s#%d", x.Name, g))
+		}
+		return e.tab.Sym(x.Name)
+	case *ir.BinExpr:
+		switch x.Op {
+		case "+", "-", "*", "/":
+			return e.tab.Bin(x.Op, e.Number(x.X), e.Number(x.Y))
+		default:
+			return Invalid
+		}
+	case *ir.UnaryExpr:
+		if x.Op == "-" {
+			return e.tab.Bin("-", e.tab.Const(0), e.Number(x.X))
+		}
+		return Invalid
+	case *ir.ArrayRef:
+		subs := make([]Num, len(x.Subs))
+		for i, sub := range x.Subs {
+			subs[i] = e.Number(sub)
+		}
+		return e.tab.Elem(x.Name, subs...)
+	default:
+		return Invalid
+	}
+}

@@ -1,0 +1,135 @@
+package vn
+
+import (
+	"testing"
+
+	"givetake/internal/frontend"
+	"givetake/internal/ir"
+)
+
+func parseExpr(t *testing.T, s string) ir.Expr {
+	t.Helper()
+	stmts, err := frontend.ParseStmts("q = " + s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmts[0].(*ir.Assign).RHS
+}
+
+func TestConstantsFold(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	a := env.Number(parseExpr(t, "2 + 3"))
+	b := env.Number(parseExpr(t, "5"))
+	if a != b {
+		t.Fatalf("2+3 (%d) != 5 (%d)", a, b)
+	}
+	if v, ok := tab.ConstVal(a); !ok || v != 5 {
+		t.Fatalf("ConstVal = %d, %v", v, ok)
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	if env.Number(parseExpr(t, "n + k")) != env.Number(parseExpr(t, "k + n")) {
+		t.Fatal("addition should commute")
+	}
+	if env.Number(parseExpr(t, "n - k")) == env.Number(parseExpr(t, "k - n")) {
+		t.Fatal("subtraction should not commute")
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	n := env.Number(parseExpr(t, "n"))
+	if env.Number(parseExpr(t, "n + 0")) != n {
+		t.Fatal("n + 0 != n")
+	}
+	if env.Number(parseExpr(t, "n * 1")) != n {
+		t.Fatal("n * 1 != n")
+	}
+}
+
+// TestLoopVariableNormalization is the Figure 2 caption property:
+// x(a(k)) under do k = 1,N and x(a(l)) under do l = 1,N are the same
+// item.
+func TestLoopVariableNormalization(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	one := &ir.IntLit{Value: 1}
+	n := &ir.Ident{Name: "n"}
+
+	pop := env.PushLoop("k", one, n, nil)
+	ak := env.Number(parseExpr(t, "a(k)"))
+	pop()
+
+	pop = env.PushLoop("l", one, n, nil)
+	al := env.Number(parseExpr(t, "a(l)"))
+	pop()
+
+	if ak != al {
+		t.Fatalf("a(k) (%d) != a(l) (%d) under identical ranges", ak, al)
+	}
+
+	// different bounds give different numbers
+	pop = env.PushLoop("m", one, &ir.Ident{Name: "p"}, nil)
+	am := env.Number(parseExpr(t, "a(m)"))
+	pop()
+	if am == ak {
+		t.Fatal("a(m) over 1..p should differ from a(k) over 1..n")
+	}
+}
+
+func TestNestedLoopsShadow(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	one := &ir.IntLit{Value: 1}
+	n := &ir.Ident{Name: "n"}
+	popOuter := env.PushLoop("i", one, n, nil)
+	outer := env.Number(parseExpr(t, "i"))
+	popInner := env.PushLoop("i", one, &ir.Ident{Name: "m"}, nil)
+	inner := env.Number(parseExpr(t, "i"))
+	popInner()
+	after := env.Number(parseExpr(t, "i"))
+	popOuter()
+	if outer == inner {
+		t.Fatal("shadowed loop variable should renumber")
+	}
+	if outer != after {
+		t.Fatal("popping the inner loop should restore the outer binding")
+	}
+}
+
+func TestKillInvalidatesScalar(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	before := env.Number(parseExpr(t, "m + 1"))
+	env.Kill("m")
+	after := env.Number(parseExpr(t, "m + 1"))
+	if before == after {
+		t.Fatal("assignment to m must invalidate its value number")
+	}
+	if after != env.Number(parseExpr(t, "m + 1")) {
+		t.Fatal("numbering must stay stable between kills")
+	}
+	_ = tab
+}
+
+func TestInvalidShapes(t *testing.T) {
+	tab := NewTable()
+	env := NewEnv(tab)
+	if env.Number(&ir.Ellipsis{}) != Invalid {
+		t.Fatal("ellipsis should be Invalid")
+	}
+	if env.Number(parseExpr(t, "a(i, j)")) == Invalid {
+		t.Fatal("multi-dim subscripts should number")
+	}
+	if env.Number(parseExpr(t, "a(i, j)")) == env.Number(parseExpr(t, "a(j, i)")) {
+		t.Fatal("subscript order must matter")
+	}
+	if tab.Bin("+", Invalid, tab.Const(1)) != Invalid {
+		t.Fatal("Invalid must propagate")
+	}
+}

@@ -1,0 +1,18 @@
+distributed x(1000)
+real y(1000), z(1000), a(1000)
+
+do i = 1, n
+    y(i) = ...
+enddo
+if test then
+    do j = 1, n
+        z(j) = ...
+    enddo
+    do k = 1, n
+        ... = x(a(k))
+    enddo
+else
+    do l = 1, n
+        ... = x(a(l))
+    enddo
+endif

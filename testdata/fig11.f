@@ -1,0 +1,13 @@
+distributed x(1000), y(1000)
+real a(1000), b(1000)
+
+do i = 1, n
+    y(a(i)) = ...
+    if test(i) goto 77
+enddo
+do j = 1, n
+    ... = ...
+enddo
+77 do k = 1, n
+    ... = x(k+10) + y(b(k))
+enddo

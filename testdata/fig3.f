@@ -1,0 +1,14 @@
+distributed x(1000)
+real a(1000)
+
+if test then
+    do i = 1, n
+        x(a(i)) = ...
+    enddo
+    do j = 1, n
+        ... = x(j+5)
+    enddo
+endif
+do k = 1, n
+    ... = x(k+5)
+enddo

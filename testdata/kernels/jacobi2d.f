@@ -1,0 +1,16 @@
+! 2-D Jacobi relaxation with halo exchange per time step
+distributed u(514, 514)
+real v(514, 514)
+
+do t = 1, steps
+    do j = 2, n
+        do i = 2, n
+            v(i, j) = u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1)
+        enddo
+    enddo
+    do j = 2, n
+        do i = 2, n
+            u(i, j) = v(i, j)
+        enddo
+    enddo
+enddo

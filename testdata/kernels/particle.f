@@ -1,0 +1,13 @@
+! particle push with scatter-add deposit: the charge deposit is a SUM
+! reduction through the cell-index array, then the field is re-read
+distributed rho(8000), e(8000)
+real cell(8000), q(8000), f(8000)
+
+do t = 1, steps
+    do p = 1, n
+        rho(cell(p)) = rho(cell(p)) + q(p)
+    enddo
+    do p = 1, n
+        f(p) = e(cell(p))
+    enddo
+enddo

@@ -1,0 +1,18 @@
+! staged pipeline with an early exit: compute stages feeding a
+! conditional bail-out to a reduction tail, exercising jump edges
+distributed x(8000), y(8000)
+real a(8000), w(8000)
+
+do i = 1, n
+    w(i) = x(i) + 1
+enddo
+do i = 1, n
+    y(i) = w(i)
+    if (w(i) > limit) goto 90
+enddo
+do i = 1, n
+    w(i) = y(i) * 2
+enddo
+90 do i = 1, n
+    a(i) = x(i + 3)
+enddo

@@ -1,0 +1,19 @@
+! red/black successive over-relaxation: the even and odd sweeps
+! interleave writes and reads of provably disjoint residue classes
+distributed x(8000)
+real w(8000)
+
+do t = 1, steps
+    do i = 1, n
+        w(i) = x(2 * i + 1)
+    enddo
+    do i = 1, n
+        x(2 * i) = w(i)
+    enddo
+    do i = 1, n
+        w(i) = x(2 * i)
+    enddo
+    do i = 1, n
+        x(2 * i + 1) = w(i)
+    enddo
+enddo

@@ -1,0 +1,14 @@
+! sparse matrix-vector product in CSR-like form: the gather of the
+! source vector goes through the column-index array (irregular), the
+! destination accumulates locally
+distributed v(8000), r(8000)
+real col(8000), val(8000), rowsum(8000)
+
+do t = 1, steps
+    do i = 1, n
+        rowsum(i) = val(i) * v(col(i))
+    enddo
+    do i = 1, n
+        r(i) = rowsum(i)
+    enddo
+enddo

@@ -49,6 +49,41 @@ func TestAPIPipeline(t *testing.T) {
 	}
 }
 
+func TestAPIFaultyExecution(t *testing.T) {
+	prog, err := gt.Parse(fig1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := gt.GenerateComm(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gt.ExecConfig{N: 64, Seed: 1, Faults: gt.DefaultFaultConfig, FaultSeed: 9}
+	trace, err := gt.Execute(cg.Annotate(gt.SplitComm), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Faults == nil {
+		t.Fatal("faulty execution must carry a FaultReport")
+	}
+	var rep gt.FaultReport = *trace.Faults
+	if !rep.Accounted() {
+		t.Fatalf("report does not balance: %s", rep)
+	}
+	if s, r := trace.UnmatchedSplit(); s != 0 || r != 0 {
+		t.Fatalf("faults broke balance: %d/%d unmatched", s, r)
+	}
+	cost := gt.CostModelHighLatency.Cost(trace)
+	if cost.Total != cost.Compute+cost.Wait+cost.Retrans {
+		t.Fatalf("cost identity broken: %+v", cost)
+	}
+	// a custom profile flows through the facade type
+	var fc gt.FaultConfig
+	if fc.Enabled() {
+		t.Fatal("zero FaultConfig must be disabled")
+	}
+}
+
 func TestAPISolverDirect(t *testing.T) {
 	prog, err := gt.Parse("a = 1\ns = x(1)\n")
 	if err != nil {

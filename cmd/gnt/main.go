@@ -18,6 +18,13 @@
 //	-atomic         emit atomic READ/WRITE instead of Send/Recv halves
 //	-n int          problem size for -mode run (default 256)
 //	-seed int       branch-condition seed for -mode run
+//	-faults         inject seeded transport faults in -mode run
+//	-drop float     per-transmission drop probability (default 0.2)
+//	-dup float      duplicate probability (default 0.1)
+//	-delay float    delay probability (default 0.1)
+//	-reorder float  reorder-slip probability (default 0.05)
+//	-timeout int    ack timeout in steps before retransmit (default 64)
+//	-retries int    retransmission budget per message (default 3)
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"givetake/internal/ir"
 	"givetake/internal/machine"
 	"givetake/internal/memopt"
+	"givetake/internal/netsim"
 	"givetake/internal/pre"
 
 	gt "givetake"
@@ -54,6 +62,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	atomic := fs.Bool("atomic", false, "emit atomic READ/WRITE instead of Send/Recv halves")
 	n := fs.Int64("n", 256, "problem size for -mode run")
 	seed := fs.Int64("seed", 1, "branch-condition seed for -mode run")
+	faults := fs.Bool("faults", false, "inject seeded transport faults in -mode run")
+	drop := fs.Float64("drop", netsim.Default.Drop, "per-transmission drop probability (with -faults)")
+	dup := fs.Float64("dup", netsim.Default.Dup, "duplicate probability (with -faults)")
+	delay := fs.Float64("delay", netsim.Default.Delay, "delay probability (with -faults)")
+	reorder := fs.Float64("reorder", netsim.Default.Reorder, "reorder-slip probability (with -faults)")
+	timeout := fs.Int64("timeout", netsim.DefaultTimeout, "ack timeout in steps before retransmit")
+	retries := fs.Int("retries", netsim.DefaultMaxRetries, "retransmission budget per message (0: degrade on first loss)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,7 +117,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprint(stdout, a.AnnotatedSource())
 	case "run":
-		return runMachine(prog, *n, *seed, stdout)
+		cfgRun := interp.Config{N: *n, Seed: *seed}
+		if *faults {
+			budget := *retries
+			if budget == 0 {
+				budget = -1 // flag 0 = no retries (config 0 means default)
+			}
+			cfgRun.Faults = netsim.FaultConfig{
+				Drop: *drop, Dup: *dup, Delay: *delay, Reorder: *reorder,
+				Timeout: *timeout, MaxRetries: budget,
+			}
+		}
+		return runMachine(prog, cfgRun, stdout)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -143,12 +169,11 @@ func runPRE(prog *ir.Program, stdout io.Writer) error {
 	return w.Flush()
 }
 
-func runMachine(prog *ir.Program, n, seed int64, stdout io.Writer) error {
+func runMachine(prog *ir.Program, cfgRun interp.Config, stdout io.Writer) error {
 	a, err := comm.Analyze(prog)
 	if err != nil {
 		return err
 	}
-	cfgRun := interp.Config{N: n, Seed: seed}
 	rows := []struct {
 		name string
 		p    *ir.Program
@@ -157,8 +182,14 @@ func runMachine(prog *ir.Program, n, seed int64, stdout io.Writer) error {
 		{"gnt-atomic", a.Annotate(comm.Options{Reads: true, Writes: true})},
 		{"gnt-split", a.Annotate(comm.DefaultOptions)},
 	}
+	withFaults := cfgRun.Faults.Enabled()
 	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "placement\tmsgs\tvolume\twait(hi)\ttotal(hi)\twait(lo)\ttotal(lo)")
+	if withFaults {
+		fmt.Fprintln(w, "placement\tmsgs\tvolume\tretries\tdegraded\twait(hi)\ttotal(hi)\twait(lo)\ttotal(lo)")
+	} else {
+		fmt.Fprintln(w, "placement\tmsgs\tvolume\twait(hi)\ttotal(hi)\twait(lo)\ttotal(lo)")
+	}
+	reports := make([]string, 0, len(rows))
 	for _, r := range rows {
 		tr, err := interp.Run(r.p, cfgRun)
 		if err != nil {
@@ -166,8 +197,24 @@ func runMachine(prog *ir.Program, n, seed int64, stdout io.Writer) error {
 		}
 		hi := machine.HighLatency.Cost(tr)
 		lo := machine.LowLatency.Cost(tr)
-		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
-			r.name, hi.Messages, hi.Volume, hi.Wait, hi.Total, lo.Wait, lo.Total)
+		if withFaults {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				r.name, hi.Messages, hi.Volume, hi.Retries, hi.Degraded,
+				hi.Wait, hi.Total, lo.Wait, lo.Total)
+			reports = append(reports, fmt.Sprintf("%s: %s", r.name, tr.Faults))
+		} else {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				r.name, hi.Messages, hi.Volume, hi.Wait, hi.Total, lo.Wait, lo.Total)
+		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if withFaults {
+		fmt.Fprintln(stdout, "\nfault reports:")
+		for _, rep := range reports {
+			fmt.Fprintln(stdout, " ", rep)
+		}
+	}
+	return nil
 }

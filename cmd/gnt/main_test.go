@@ -108,6 +108,44 @@ func TestRunMode(t *testing.T) {
 	}
 }
 
+func TestRunModeFaults(t *testing.T) {
+	args := []string{"-mode", "run", "-n", "50", "-faults", "-seed", "1"}
+	out := runCLI(t, args, fig1)
+	for _, want := range []string{"retries", "degraded", "fault reports:", "transfers=", "unmatched=0/0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("faulty run output missing %q:\n%s", want, out)
+		}
+	}
+	// seeded: the same invocation prints the same bytes
+	if again := runCLI(t, args, fig1); again != out {
+		t.Fatalf("faulty run not deterministic:\n%s\nvs\n%s", out, again)
+	}
+}
+
+func TestRunModeFaultFlagsRespected(t *testing.T) {
+	// certain loss with a budget of 1 forces degradation or escalation,
+	// and the custom flags flow through to the transport
+	out := runCLI(t, []string{"-mode", "run", "-n", "50", "-faults",
+		"-drop", "1", "-dup", "0", "-delay", "0", "-reorder", "0",
+		"-timeout", "16", "-retries", "1"}, fig1)
+	if !strings.Contains(out, "degraded=") {
+		t.Fatalf("output missing degradation column:\n%s", out)
+	}
+	if strings.Contains(out, "dup=1") || !strings.Contains(out, "drop=") {
+		t.Fatalf("flags not reflected in fault report:\n%s", out)
+	}
+	if !strings.Contains(out, "unmatched=0/0") {
+		t.Fatalf("even certain loss must leave no unmatched halves:\n%s", out)
+	}
+}
+
+func TestRunModeWithoutFaultsUnchanged(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "run", "-n", "50"}, fig1)
+	if strings.Contains(out, "fault reports:") || strings.Contains(out, "degraded") {
+		t.Fatalf("reliable run must not print fault columns:\n%s", out)
+	}
+}
+
 func TestUnknownMode(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-mode", "bogus"}, strings.NewReader("x = 1"), &out); err == nil {

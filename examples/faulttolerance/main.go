@@ -1,0 +1,103 @@
+// Faulttolerance executes the paper's Figure 11 program over the
+// simulated unreliable transport (internal/netsim), sweeping the drop
+// probability and comparing how the atomic and split placements absorb
+// recovery: the split schedule's latency-hiding window — the production
+// region between READ_Send and READ_Recv — doubles as a *retry* window,
+// so retransmission timeouts that an atomic operation must expose as
+// wait are hidden behind the i- and j-loops. When a transfer exhausts
+// its retry budget the runtime degrades gracefully, re-issuing it as an
+// atomic operation at the Recv point (the LAZY placement), and the
+// FaultReport records the run as degraded rather than failed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	gt "givetake"
+	"givetake/internal/comm"
+)
+
+const fig11 = `
+distributed x(4000), y(4000)
+real a(4000), b(4000), test(4000)
+
+do i = 1, n
+    y(a(i)) = ...
+    if test(i) goto 77
+enddo
+do j = 1, n
+    ... = ...
+enddo
+77 do k = 1, n
+    ... = x(k+10) + y(b(k))
+enddo
+`
+
+func main() {
+	prog, err := gt.Parse(fig11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cg, err := gt.GenerateComm(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	readsOnly := comm.Options{Reads: true}
+	variants := []struct {
+		name string
+		p    *gt.Program
+	}{
+		{"gnt-atomic", cg.Annotate(readsOnly)},
+		{"gnt-split", cg.Annotate(comm.Options{Reads: true, Split: true})},
+	}
+
+	const n, seeds = 256, 100
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "drop\tplacement\tretries\tsuppressed\tdegraded\tunmatched\tmean wait\tmean total")
+	for _, drop := range []float64{0, 0.1, 0.2, 0.4} {
+		faults := gt.DefaultFaultConfig
+		faults.Drop = drop
+		for _, v := range variants {
+			var retries, suppressed, degraded, unmatched int64
+			var wait, total float64
+			for s := int64(1); s <= seeds; s++ {
+				tr, err := gt.Execute(v.p, gt.ExecConfig{
+					N: n, Seed: 42, Faults: faults, FaultSeed: s,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				cost := gt.CostModelHighLatency.Cost(tr)
+				retries += cost.Retries
+				degraded += cost.Degraded
+				wait += cost.Wait
+				total += cost.Total
+				if tr.Faults != nil {
+					suppressed += tr.Faults.Suppressed
+					unmatched += tr.Faults.UnmatchedSends + tr.Faults.UnmatchedRecvs
+					if !tr.Faults.Accounted() {
+						log.Fatalf("fault report does not balance: %s", tr.Faults)
+					}
+				}
+				// the balance criterion C1 survives every fault profile
+				if us, ur := tr.UnmatchedSplit(); us != 0 || ur != 0 {
+					log.Fatalf("unmatched halves under drop=%.1f: %d/%d", drop, us, ur)
+				}
+			}
+			fmt.Fprintf(w, "%.1f\t%s\t%d\t%d\t%d\t%d\t%.0f\t%.0f\n",
+				drop, v.name, retries, suppressed, degraded, unmatched,
+				wait/seeds, total/seeds)
+		}
+	}
+	w.Flush()
+
+	fmt.Println("\nThe split rows keep their mean wait nearly flat as the drop rate")
+	fmt.Println("climbs, while the atomic rows pay every retransmission timeout:")
+	fmt.Println("the overlap window that hides latency on a reliable network")
+	fmt.Println("absorbs retries on a lossy one. Degraded transfers fell back to")
+	fmt.Println("an atomic re-issue at the Recv point — the LAZY placement — and")
+	fmt.Println("still completed (C1 holds: unmatched is always 0).")
+}

@@ -29,6 +29,7 @@ import (
 	"givetake/internal/interval"
 	"givetake/internal/ir"
 	"givetake/internal/machine"
+	"givetake/internal/netsim"
 )
 
 // Program is a parsed mini-Fortran compilation unit.
@@ -144,3 +145,21 @@ var (
 	// CostModelLowLatency resembles a fast-interconnect machine.
 	CostModelLowLatency = machine.LowLatency
 )
+
+// Fault-tolerant execution ---------------------------------------------
+
+// FaultConfig parameterizes the simulated unreliable transport: seeded
+// drop/dup/delay/reorder injection plus the recovery protocol (ack
+// timeout, bounded exponential backoff with jitter, per-message retry
+// budget). Set it on ExecConfig.Faults; the zero value executes over a
+// perfectly reliable network, byte-identical to a plain run.
+type FaultConfig = netsim.FaultConfig
+
+// FaultReport summarizes one faulty execution: injected faults versus
+// retransmitted, suppressed, recovered, and degraded transfers. It is
+// available as Trace.Faults after a faulty Execute.
+type FaultReport = netsim.FaultReport
+
+// DefaultFaultConfig is the moderate-loss profile used by
+// `gnt -mode run -faults`.
+var DefaultFaultConfig = netsim.Default

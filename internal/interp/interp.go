@@ -11,11 +11,21 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"givetake/internal/ir"
+	"givetake/internal/netsim"
 )
+
+// DefaultMaxSteps is the step budget applied when Config.MaxSteps is
+// zero: 10 million statements.
+const DefaultMaxSteps = 10_000_000
+
+// ErrStepLimit is returned (wrapped) when execution exceeds the step
+// budget; detect it with errors.Is(err, ErrStepLimit).
+var ErrStepLimit = errors.New("interp: step budget exhausted")
 
 // Config parameterizes one execution.
 type Config struct {
@@ -26,8 +36,24 @@ type Config struct {
 	// Seed drives unknown branch conditions (like the paper's "test"):
 	// they evaluate to a deterministic pseudo-random boolean stream.
 	Seed int64
-	// MaxSteps bounds execution (default 10 million statements).
+	// MaxSteps bounds execution (default DefaultMaxSteps).
 	MaxSteps int64
+	// Faults configures the simulated transport. The zero value (no
+	// fault can fire) bypasses the transport entirely, so reliable
+	// executions are byte-identical to the pre-fault interpreter.
+	Faults netsim.FaultConfig
+	// FaultSeed seeds fault injection independently of Seed, so turning
+	// faults on never perturbs the branch-condition stream being
+	// measured. Zero derives a seed from Seed.
+	FaultSeed int64
+}
+
+// maxSteps is the effective step budget.
+func (c Config) maxSteps() int64 {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	return DefaultMaxSteps
 }
 
 // CommEvent is one executed communication statement.
@@ -37,12 +63,23 @@ type CommEvent struct {
 	Step  int64  // statement counter at execution time
 	Elems int64  // elements covered by the transferred sections
 	Args  string // rendered argument list, for matching sends to recvs
+
+	// Fault-runtime fields, populated on Recv and atomic events when
+	// Config.Faults is enabled; all zero on a reliable run.
+	Retries    int   // retransmissions this transfer needed
+	Suppressed int   // duplicate deliveries discarded here (redelivery flag)
+	Arrival    int64 // step the payload became available
+	Stall      int64 // sender-side timeout+backoff stall, in steps
+	Degraded   bool  // budget exhausted: re-issued atomically here (LAZY point)
 }
 
 // Trace is the result of one execution.
 type Trace struct {
 	Steps  int64
 	Events []CommEvent
+	// Faults summarizes injected faults and recovery; nil when the
+	// execution ran over the reliable transport.
+	Faults *netsim.FaultReport
 }
 
 // Messages counts executed communication statements (vectorized
@@ -70,36 +107,21 @@ func (t *Trace) Volume() int64 {
 	return v
 }
 
-// OverlapStats pairs each Recv with the most recent unmatched Send of
-// the same operation and argument list and reports the number of pairs
-// and the total and minimum step distances. Unsplit (atomic) events have
-// distance zero by definition.
+// OverlapStats reports the matched Send/Recv pairs of the trace (see
+// Pairs for the matching discipline) with their total and minimum step
+// distances. When the trace has no split pairs at all, minDist is the
+// sentinel -1, distinguishing "nothing was split" from a true minimum
+// overlap of zero.
 func (t *Trace) OverlapStats() (pairs int64, totalDist int64, minDist int64) {
-	type key struct{ op, args string }
-	pending := map[key][]int64{}
+	ps, _, _ := t.Pairs()
 	minDist = -1
-	for _, e := range t.Events {
-		k := key{e.Op, e.Args}
-		switch e.Half {
-		case "Send":
-			pending[k] = append(pending[k], e.Step)
-		case "Recv":
-			q := pending[k]
-			if len(q) == 0 {
-				continue // unmatched recv: balance violation, surfaced by tests
-			}
-			s := q[len(q)-1]
-			pending[k] = q[:len(q)-1]
-			d := e.Step - s
-			pairs++
-			totalDist += d
-			if minDist < 0 || d < minDist {
-				minDist = d
-			}
+	for _, p := range ps {
+		d := p.Recv.Step - p.Send.Step
+		pairs++
+		totalDist += d
+		if minDist < 0 || d < minDist {
+			minDist = d
 		}
-	}
-	if minDist < 0 {
-		minDist = 0
 	}
 	return
 }
@@ -107,32 +129,13 @@ func (t *Trace) OverlapStats() (pairs int64, totalDist int64, minDist int64) {
 // UnmatchedSplit reports the number of Sends without a Recv and vice
 // versa; both are zero for balanced placements (criterion C1).
 func (t *Trace) UnmatchedSplit() (sends, recvs int64) {
-	type key struct{ op, args string }
-	bal := map[key]int64{}
-	for _, e := range t.Events {
-		k := key{e.Op, e.Args}
-		switch e.Half {
-		case "Send":
-			bal[k]++
-		case "Recv":
-			bal[k]--
-		}
-	}
-	for _, v := range bal {
-		if v > 0 {
-			sends += v
-		} else {
-			recvs -= v
-		}
-	}
-	return
+	_, us, ur := t.Pairs()
+	return int64(len(us)), int64(len(ur))
 }
 
 // Run executes the program and returns its trace.
 func Run(prog *ir.Program, cfg Config) (*Trace, error) {
-	if cfg.MaxSteps == 0 {
-		cfg.MaxSteps = 10_000_000
-	}
+	cfg.MaxSteps = cfg.maxSteps()
 	ex := &executor{
 		cfg:     cfg,
 		prog:    prog,
@@ -141,6 +144,14 @@ func Run(prog *ir.Program, cfg Config) (*Trace, error) {
 		dims:    map[string][]int64{},
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		trace:   &Trace{},
+	}
+	if cfg.Faults.Enabled() {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			// decorrelate from the branch-condition stream
+			seed = cfg.Seed*0x9E3779B9 + 0x7F4A7C15
+		}
+		ex.net = netsim.New(cfg.Faults, seed)
 	}
 	ex.scalars["n"] = cfg.N
 	for k, v := range cfg.Scalars {
@@ -171,6 +182,11 @@ func Run(prog *ir.Program, cfg Config) (*Trace, error) {
 		return nil, err
 	}
 	ex.trace.Steps = ex.steps
+	if ex.net != nil {
+		ex.net.Finish()
+		rep := ex.net.Report()
+		ex.trace.Faults = &rep
+	}
 	return ex.trace, nil
 }
 
@@ -181,6 +197,7 @@ type executor struct {
 	arrays  map[string][]int64
 	dims    map[string][]int64 // per-array dimension extents (1-based)
 	rng     *rand.Rand
+	net     *netsim.Transport // nil: reliable transport
 	trace   *Trace
 	steps   int64
 }
@@ -203,13 +220,10 @@ func (ex *executor) flatIndex(name string, subs []ir.Expr) int64 {
 	return idx
 }
 
-// errStop signals step-budget exhaustion.
-var errStop = fmt.Errorf("interp: step budget exhausted")
-
 func (ex *executor) tick() error {
 	ex.steps++
 	if ex.steps > ex.cfg.MaxSteps {
-		return errStop
+		return fmt.Errorf("%w (MaxSteps=%d)", ErrStepLimit, ex.cfg.MaxSteps)
 	}
 	return nil
 }
@@ -300,15 +314,38 @@ func (ex *executor) stmt(s ir.Stmt) (goLabel string, err error) {
 		// different points, so sections are traced individually to pair
 		// sends with receives.
 		for _, a := range s.Args {
-			ex.trace.Events = append(ex.trace.Events, CommEvent{
+			ev := CommEvent{
 				Op: s.Op, Half: s.Half, Step: ex.steps,
 				Elems: ex.sectionElems(a), Args: ir.ExprString(a),
-			})
+			}
+			if ex.net != nil {
+				// route the transfer through the simulated transport;
+				// delivery outcomes land on the completing (Recv or
+				// atomic) event, where the receiver observes them
+				switch s.Half {
+				case "Send":
+					ex.net.Send(ev.Op, ev.Args, ev.Elems, ev.Step)
+				case "Recv":
+					ev.applyDelivery(ex.net.Recv(ev.Op, ev.Args, ev.Elems, ev.Step))
+				default:
+					ev.applyDelivery(ex.net.Atomic(ev.Op, ev.Args, ev.Elems, ev.Step))
+				}
+			}
+			ex.trace.Events = append(ex.trace.Events, ev)
 		}
 		return "", nil
 	default:
 		return "", fmt.Errorf("interp: cannot execute %T", s)
 	}
+}
+
+// applyDelivery copies a transport outcome onto the completing event.
+func (e *CommEvent) applyDelivery(d netsim.Delivery) {
+	e.Retries = d.Retries
+	e.Suppressed = d.Suppressed
+	e.Arrival = d.Arrival
+	e.Stall = d.Stall
+	e.Degraded = d.Degraded
 }
 
 // sectionElems counts the elements of a communicated section: a triplet

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"errors"
 	"testing"
 
 	"givetake/internal/frontend"
@@ -163,8 +164,24 @@ func TestStepBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(prog, Config{N: 1, MaxSteps: 100}); err == nil {
+	_, err = Run(prog, Config{N: 1, MaxSteps: 100})
+	if err == nil {
 		t.Fatal("expected step-budget error")
+	}
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("step-budget error should wrap ErrStepLimit, got %v", err)
+	}
+}
+
+func TestMaxStepsDefault(t *testing.T) {
+	if got := (Config{}).maxSteps(); got != DefaultMaxSteps {
+		t.Fatalf("default MaxSteps = %d, want %d", got, DefaultMaxSteps)
+	}
+	if got := (Config{MaxSteps: 42}).maxSteps(); got != 42 {
+		t.Fatalf("explicit MaxSteps = %d, want 42", got)
+	}
+	if DefaultMaxSteps != 10_000_000 {
+		t.Fatalf("documented default is 10 million, const says %d", DefaultMaxSteps)
 	}
 }
 
@@ -267,8 +284,8 @@ func TestOverlapStatsUnmatchedRecv(t *testing.T) {
 		{Op: "READ", Half: "Recv", Step: 5, Elems: 1, Args: "x(1)"},
 	}}
 	pairs, total, minDist := tr.OverlapStats()
-	if pairs != 0 || total != 0 || minDist != 0 {
-		t.Fatalf("unmatched recv should pair nothing: %d %d %d", pairs, total, minDist)
+	if pairs != 0 || total != 0 || minDist != -1 {
+		t.Fatalf("unmatched recv should pair nothing (minDist sentinel -1): %d %d %d", pairs, total, minDist)
 	}
 	if s, r := tr.UnmatchedSplit(); s != 0 || r != 1 {
 		t.Fatalf("unmatched = %d sends %d recvs, want 0/1", s, r)

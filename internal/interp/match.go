@@ -1,0 +1,51 @@
+package interp
+
+// SplitPair is one matched Send/Recv pair of a trace.
+type SplitPair struct {
+	Send, Recv *CommEvent
+}
+
+// Pairs matches each Recv with the most recent unmatched Send of the
+// same operation and argument list — the LIFO discipline under which a
+// re-sent section pairs with its nearest receive. It is the single
+// matcher shared by OverlapStats, UnmatchedSplit, and the machine cost
+// model, so all three agree on which halves form a pair. Atomic events
+// (Half == "") participate in no pair. The returned pointers alias
+// t.Events.
+func (t *Trace) Pairs() (pairs []SplitPair, unmatchedSends, unmatchedRecvs []*CommEvent) {
+	type key struct{ op, args string }
+	pending := map[key][]*CommEvent{}
+	for i := range t.Events {
+		e := &t.Events[i]
+		k := key{e.Op, e.Args}
+		switch e.Half {
+		case "Send":
+			pending[k] = append(pending[k], e)
+		case "Recv":
+			q := pending[k]
+			if len(q) == 0 {
+				unmatchedRecvs = append(unmatchedRecvs, e)
+				continue
+			}
+			pairs = append(pairs, SplitPair{Send: q[len(q)-1], Recv: e})
+			pending[k] = q[:len(q)-1]
+		}
+	}
+	// leftover sends, reported in trace order
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.Half == "Send" && contains(pending[key{e.Op, e.Args}], e) {
+			unmatchedSends = append(unmatchedSends, e)
+		}
+	}
+	return pairs, unmatchedSends, unmatchedRecvs
+}
+
+func contains(q []*CommEvent, e *CommEvent) bool {
+	for _, x := range q {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}

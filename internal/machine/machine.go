@@ -40,64 +40,101 @@ var (
 type Result struct {
 	// Compute is Steps × Work.
 	Compute float64
-	// Wait is the exposed (non-overlapped) communication time.
+	// Wait is the exposed (non-overlapped) communication time, including
+	// exposed timeout/backoff stalls and degraded re-issues under fault
+	// injection.
 	Wait float64
-	// Total = Compute + Wait.
+	// Retrans is the bandwidth consumed by retransmissions under fault
+	// injection; zero on a reliable run.
+	Retrans float64
+	// Total = Compute + Wait + Retrans.
 	Total float64
-	// Messages and Volume summarize the trace.
+	// Messages and Volume summarize the trace (retransmitted copies are
+	// charged in Retrans, not counted as extra messages).
 	Messages, Volume int64
+	// Retries and Degraded summarize fault recovery: retransmissions
+	// performed and transfers that needed the reliable fallback.
+	Retries, Degraded int64
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("msgs=%d vol=%d compute=%.0f wait=%.0f total=%.0f",
+	s := fmt.Sprintf("msgs=%d vol=%d compute=%.0f wait=%.0f total=%.0f",
 		r.Messages, r.Volume, r.Compute, r.Wait, r.Total)
+	if r.Retrans > 0 || r.Retries > 0 || r.Degraded > 0 {
+		s += fmt.Sprintf(" retrans=%.0f retries=%d degraded=%d",
+			r.Retrans, r.Retries, r.Degraded)
+	}
+	return s
+}
+
+// transfer is the α–β cost of moving elems elements once.
+func (m Model) transfer(elems int64) float64 {
+	return m.Latency + float64(elems)*m.PerElem
 }
 
 // Cost evaluates a trace under the model. Atomic communication exposes
 // its full transfer cost; a split pair exposes only what the compute
-// between Send and Recv could not hide.
+// between Send and Recv could not hide. Under fault injection the model
+// additionally charges, per transfer: retransmitted bandwidth (Retrans),
+// exposed timeout/backoff stalls (atomic operations block through them;
+// split pairs only pay the part their overlap window could not absorb),
+// and for degraded transfers the fully exposed atomic re-issue at the
+// Recv point.
 func (m Model) Cost(t *interp.Trace) Result {
 	r := Result{
 		Compute:  float64(t.Steps) * m.Work,
 		Messages: t.Messages(),
 		Volume:   t.Volume(),
 	}
-	type key struct{ op, args string }
-	type sendEv struct {
-		step  int64
-		elems int64
-	}
-	pending := map[key][]sendEv{}
-	for _, e := range t.Events {
-		k := key{e.Op, e.Args}
-		switch e.Half {
-		case "":
-			r.Wait += m.Latency + float64(e.Elems)*m.PerElem
-		case "Send":
-			pending[k] = append(pending[k], sendEv{e.Step, e.Elems})
-		case "Recv":
-			q := pending[k]
-			if len(q) == 0 {
-				// unmatched receive: pay the full transfer
-				r.Wait += m.Latency + float64(e.Elems)*m.PerElem
-				continue
-			}
-			s := q[len(q)-1]
-			pending[k] = q[:len(q)-1]
-			transfer := m.Latency + float64(s.elems)*m.PerElem
-			hidden := float64(e.Step-s.step) * m.Work
-			if exposed := transfer - hidden; exposed > 0 {
-				r.Wait += exposed
-			}
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.Half != "" {
+			continue
+		}
+		// atomic: the operation blocks until delivery, so the transfer
+		// and every retransmission stall are fully exposed
+		r.Wait += m.transfer(e.Elems) + float64(e.Stall)*m.Work
+		r.Retrans += float64(e.Retries) * m.transfer(e.Elems)
+		r.Retries += int64(e.Retries)
+		if e.Degraded {
+			r.Degraded++
 		}
 	}
-	// sends never received still consumed bandwidth; charge them fully
-	// (a balanced placement has none)
-	for _, q := range pending {
-		for _, s := range q {
-			r.Wait += m.Latency + float64(s.elems)*m.PerElem
+	pairs, usends, urecvs := t.Pairs()
+	for _, p := range pairs {
+		transfer := m.transfer(p.Send.Elems)
+		r.Retrans += float64(p.Recv.Retries) * transfer
+		r.Retries += int64(p.Recv.Retries)
+		if p.Recv.Degraded {
+			// the receiver learns of the failure when the sender's
+			// retry budget runs out, then re-issues atomically (the
+			// LAZY placement) over the reliable channel — fully exposed
+			r.Degraded++
+			detect := p.Send.Step + p.Recv.Stall
+			if late := float64(detect-p.Recv.Step) * m.Work; late > 0 {
+				r.Wait += late
+			}
+			r.Wait += transfer
+			continue
+		}
+		hidden := float64(p.Recv.Step-p.Send.Step) * m.Work
+		if exposed := transfer - hidden; exposed > 0 {
+			r.Wait += exposed
+		}
+		// a copy arriving after the receive point stalls the receiver
+		// even when the α–β transfer cost itself was hidden
+		if late := float64(p.Recv.Arrival-p.Recv.Step) * m.Work; late > 0 {
+			r.Wait += late
 		}
 	}
-	r.Total = r.Compute + r.Wait
+	// unmatched halves pay the full transfer (a balanced placement has
+	// none)
+	for _, e := range usends {
+		r.Wait += m.transfer(e.Elems)
+	}
+	for _, e := range urecvs {
+		r.Wait += m.transfer(e.Elems)
+	}
+	r.Total = r.Compute + r.Wait + r.Retrans
 	return r
 }

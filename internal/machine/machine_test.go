@@ -6,6 +6,7 @@ import (
 	"givetake/internal/comm"
 	"givetake/internal/frontend"
 	"givetake/internal/interp"
+	"givetake/internal/netsim"
 )
 
 const fig1Src = `
@@ -135,6 +136,111 @@ func TestCostModelOverlap(t *testing.T) {
 	// full overlap
 	if r := m.Cost(mk(50, 180)); r.Wait != 0 {
 		t.Fatalf("full overlap wait = %f, want 0", r.Wait)
+	}
+}
+
+func TestCostModelFaultCharges(t *testing.T) {
+	m := Model{Latency: 100, PerElem: 1, Work: 1}
+
+	// atomic with retries: full transfer + exposed stall, retransmitted
+	// bandwidth charged separately
+	atomic := &interp.Trace{Steps: 10, Events: []interp.CommEvent{
+		{Op: "READ", Half: "", Step: 5, Elems: 10, Args: "x(1:10)",
+			Retries: 2, Stall: 144},
+	}}
+	r := m.Cost(atomic)
+	if r.Wait != 110+144 {
+		t.Fatalf("atomic wait = %f, want transfer 110 + stall 144", r.Wait)
+	}
+	if r.Retrans != 2*110 {
+		t.Fatalf("retrans = %f, want 2 retransmissions × 110", r.Retrans)
+	}
+	if r.Retries != 2 || r.Total != r.Compute+r.Wait+r.Retrans {
+		t.Fatalf("result = %+v", r)
+	}
+
+	// split pair recovering inside its window: retries cost bandwidth
+	// but the overlap hides the stall — wait is zero when the copy
+	// arrived before the receive point
+	split := &interp.Trace{Steps: 400, Events: []interp.CommEvent{
+		{Op: "READ", Half: "Send", Step: 50, Elems: 10, Args: "x(1:10)"},
+		{Op: "READ", Half: "Recv", Step: 350, Elems: 10, Args: "x(1:10)",
+			Retries: 2, Stall: 144, Arrival: 200},
+	}}
+	r = m.Cost(split)
+	if r.Wait != 0 {
+		t.Fatalf("split wait = %f, want 0 (retries absorbed by the overlap window)", r.Wait)
+	}
+	if r.Retrans != 2*110 || r.Retries != 2 {
+		t.Fatalf("split retrans = %f retries = %d", r.Retrans, r.Retries)
+	}
+
+	// same recovery, short window: the late copy stalls the receiver
+	late := &interp.Trace{Steps: 400, Events: []interp.CommEvent{
+		{Op: "READ", Half: "Send", Step: 50, Elems: 10, Args: "x(1:10)"},
+		{Op: "READ", Half: "Recv", Step: 170, Elems: 10, Args: "x(1:10)",
+			Retries: 2, Stall: 144, Arrival: 200},
+	}}
+	r = m.Cost(late)
+	if r.Wait != 30 { // arrival 200 − recv 170; α–β transfer 110 < window 120, hidden
+		t.Fatalf("late wait = %f, want 30 steps of receiver stall", r.Wait)
+	}
+}
+
+func TestCostModelDegradedPair(t *testing.T) {
+	m := Model{Latency: 100, PerElem: 1, Work: 1}
+	tr := &interp.Trace{Steps: 400, Events: []interp.CommEvent{
+		{Op: "READ", Half: "Send", Step: 50, Elems: 10, Args: "x(1:10)"},
+		{Op: "READ", Half: "Recv", Step: 100, Elems: 10, Args: "x(1:10)",
+			Retries: 3, Stall: 300, Degraded: true},
+	}}
+	r := m.Cost(tr)
+	// failure detected at send 50 + stall 300 = 350, i.e. 250 steps past
+	// the recv, then the atomic re-issue (110) is fully exposed
+	if r.Wait != 250+110 {
+		t.Fatalf("degraded wait = %f, want 360", r.Wait)
+	}
+	if r.Degraded != 1 || r.Retries != 3 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Retrans != 3*110 {
+		t.Fatalf("retrans = %f, want the 3 wasted attempts charged", r.Retrans)
+	}
+}
+
+// TestSplitAbsorbsWhatAtomicExposes runs the same faulty workload under
+// both placements end to end: same injected faults, but the split
+// placement's overlap window hides recovery the atomic placement pays
+// as wait.
+func TestSplitAbsorbsWhatAtomicExposes(t *testing.T) {
+	prog, err := frontend.Parse(fig1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := comm.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := netsim.FaultConfig{Drop: 0.2, Dup: 0.1, Delay: 0.1}
+	m := HighLatency
+	var splitWait, atomicWait, rounds float64
+	for seed := int64(1); seed <= 40; seed++ {
+		cfg := interp.Config{N: 100, Seed: 3, Faults: faults, FaultSeed: seed}
+		at, err := interp.Run(a.Annotate(comm.Options{Reads: true, Writes: true}), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := interp.Run(a.Annotate(comm.DefaultOptions), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atomicWait += m.Cost(at).Wait
+		splitWait += m.Cost(sp).Wait
+		rounds++
+	}
+	if splitWait >= atomicWait {
+		t.Fatalf("split placement should absorb fault recovery: split wait %.0f ≥ atomic wait %.0f",
+			splitWait/rounds, atomicWait/rounds)
 	}
 }
 

@@ -1,0 +1,292 @@
+package netsim
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestZeroConfigDisabled(t *testing.T) {
+	var c FaultConfig
+	if c.Enabled() {
+		t.Fatal("zero FaultConfig must be disabled")
+	}
+	if !Default.Enabled() {
+		t.Fatal("Default profile must be enabled")
+	}
+	if (FaultConfig{Timeout: 99}).Enabled() {
+		t.Fatal("protocol parameters alone must not enable fault injection")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := FaultConfig{Drop: 0.5}.withDefaults()
+	if c.Timeout != DefaultTimeout || c.MaxRetries != DefaultMaxRetries ||
+		c.BackoffBase != DefaultBackoffBase || c.BackoffMax != DefaultBackoffMax {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.DelayMax != 2*DefaultTimeout {
+		t.Fatalf("DelayMax default = %d, want 2×Timeout", c.DelayMax)
+	}
+}
+
+func TestNoRetryMode(t *testing.T) {
+	if got := (FaultConfig{MaxRetries: -1}).withDefaults().MaxRetries; got != 0 {
+		t.Fatalf("MaxRetries -1 must mean zero retries, got %d", got)
+	}
+	tr := New(FaultConfig{Drop: 1, MaxRetries: -1}, 1)
+	tr.Send("READ", "x(1)", 1, 1)
+	d := tr.Recv("READ", "x(1)", 1, 9)
+	if !d.Degraded || d.Retries != 0 {
+		t.Fatalf("no-retry mode must degrade without retransmitting: %+v", d)
+	}
+	if rep := tr.Report(); rep.Retransmits != 0 {
+		t.Fatalf("no-retry mode retransmitted: %s", rep)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	c := FaultConfig{BackoffBase: 8, BackoffMax: 64}.withDefaults()
+	rng := rand.New(rand.NewSource(1))
+	prevMin := int64(0)
+	for retry := 0; retry < 8; retry++ {
+		// the deterministic part is base·2^retry capped; jitter adds at
+		// most half of it
+		base := int64(8)
+		for i := 0; i < retry && base < 64; i++ {
+			base *= 2
+		}
+		if base > 64 {
+			base = 64
+		}
+		for trial := 0; trial < 50; trial++ {
+			b := c.backoff(retry, rng)
+			if b < base || b > base+base/2 {
+				t.Fatalf("backoff(%d) = %d outside [%d, %d]", retry, b, base, base+base/2)
+			}
+		}
+		if base < prevMin {
+			t.Fatalf("backoff floor must be nondecreasing: %d after %d", base, prevMin)
+		}
+		prevMin = base
+	}
+}
+
+func TestReliableDelivery(t *testing.T) {
+	// probabilities zero: one attempt, arrives next step, no retries
+	tr := New(FaultConfig{}, 1)
+	tr.Send("READ", "x(1:8)", 8, 10)
+	d := tr.Recv("READ", "x(1:8)", 8, 50)
+	if !d.Matched || d.Degraded || d.Retries != 0 || d.Suppressed != 0 {
+		t.Fatalf("reliable delivery = %+v", d)
+	}
+	if d.Arrival != 11 {
+		t.Fatalf("arrival = %d, want send step + 1", d.Arrival)
+	}
+	tr.Finish()
+	rep := tr.Report()
+	if !rep.Accounted() || rep.Transfers != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestCertainDropDegradesSplit(t *testing.T) {
+	tr := New(FaultConfig{Drop: 1, MaxRetries: 2}, 7)
+	tr.Send("READ", "x(1:4)", 4, 5)
+	d := tr.Recv("READ", "x(1:4)", 4, 40)
+	if !d.Matched || !d.Degraded {
+		t.Fatalf("all-drop transfer must degrade: %+v", d)
+	}
+	if d.Retries != 2 {
+		t.Fatalf("retries = %d, want the full budget 2", d.Retries)
+	}
+	if d.Stall <= 0 {
+		t.Fatal("degraded transfer must report the stall it burned")
+	}
+	tr.Finish()
+	rep := tr.Report()
+	if rep.Degraded != 1 || rep.Escalated != 0 {
+		t.Fatalf("report = %s", rep)
+	}
+	if rep.Drops != 3 { // initial attempt + 2 retransmits
+		t.Fatalf("drops = %d, want 3", rep.Drops)
+	}
+	if !rep.Accounted() {
+		t.Fatalf("degraded run must still account: %s", rep)
+	}
+}
+
+func TestCertainDropEscalatesAtomic(t *testing.T) {
+	tr := New(FaultConfig{Drop: 1, MaxRetries: 1}, 7)
+	d := tr.Atomic("WRITE", "y(1:4)", 4, 5)
+	if !d.Degraded {
+		t.Fatal("all-drop atomic must escalate to the reliable channel")
+	}
+	tr.Finish()
+	rep := tr.Report()
+	if rep.Escalated != 1 || rep.Degraded != 0 {
+		t.Fatalf("report = %s", rep)
+	}
+	if !rep.Accounted() {
+		t.Fatalf("escalated run must still account: %s", rep)
+	}
+}
+
+func TestCertainDupSuppressed(t *testing.T) {
+	tr := New(FaultConfig{Dup: 1}, 3)
+	tr.Send("READ", "x(1)", 1, 1)
+	d := tr.Recv("READ", "x(1)", 1, 9)
+	if d.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 duplicate copy", d.Suppressed)
+	}
+	tr.Finish()
+	rep := tr.Report()
+	if rep.Dups != 1 || rep.Suppressed != 1 || !rep.Accounted() {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestDelayPastTimeoutSpuriousRetransmit(t *testing.T) {
+	// delay always fires and always exceeds the tiny timeout, so the
+	// first copy is late, the sender retransmits spuriously, and the
+	// extra copy is suppressed — yet no drop was ever injected
+	c := FaultConfig{Delay: 1, Timeout: 1, DelayMax: 50, MaxRetries: 1}
+	tr := New(c, 11)
+	tr.Send("READ", "x(1)", 1, 1)
+	d := tr.Recv("READ", "x(1)", 1, 100)
+	if !d.Matched || d.Degraded {
+		t.Fatalf("late delivery is not failure: %+v", d)
+	}
+	tr.Finish()
+	rep := tr.Report()
+	if rep.Drops != 0 {
+		t.Fatalf("no drops injected, report says %d", rep.Drops)
+	}
+	if rep.Retransmits == 0 {
+		t.Fatal("delay past timeout must provoke a spurious retransmit")
+	}
+	if rep.Suppressed == 0 {
+		t.Fatal("the spurious copy must be suppressed at the receiver")
+	}
+	if !rep.Accounted() {
+		t.Fatalf("report must balance: %s", rep)
+	}
+}
+
+func TestUnmatchedHalvesReported(t *testing.T) {
+	tr := New(Default, 1)
+	tr.Send("READ", "x(1)", 1, 1)
+	tr.Recv("WRITE", "y(1)", 1, 2) // wrong key: unmatched recv
+	tr.Finish()                    // leaves the send unmatched
+	rep := tr.Report()
+	if rep.UnmatchedSends != 1 || rep.UnmatchedRecvs != 1 {
+		t.Fatalf("unmatched = %d/%d, want 1/1", rep.UnmatchedSends, rep.UnmatchedRecvs)
+	}
+	if rep.Accounted() {
+		t.Fatal("unmatched halves must fail accounting")
+	}
+}
+
+func TestLIFOMatching(t *testing.T) {
+	tr := New(FaultConfig{}, 1)
+	tr.Send("READ", "x(1:2)", 2, 1)
+	tr.Send("READ", "x(1:2)", 2, 5)
+	d := tr.Recv("READ", "x(1:2)", 2, 9)
+	if d.Arrival != 6 {
+		t.Fatalf("LIFO: recv must match the later send (arrival 6), got %d", d.Arrival)
+	}
+	d = tr.Recv("READ", "x(1:2)", 2, 12)
+	if d.Arrival != 2 {
+		t.Fatalf("second recv matches the earlier send (arrival 2), got %d", d.Arrival)
+	}
+}
+
+// drive issues a deterministic synthetic workload: a mix of split pairs
+// and atomics across a few keys.
+func drive(tr *Transport) []Delivery {
+	var out []Delivery
+	step := int64(0)
+	for i := 0; i < 200; i++ {
+		step += int64(1 + i%7)
+		key := []string{"x(1:n)", "y(a(1:n))", "z(4)"}[i%3]
+		switch i % 4 {
+		case 0, 1:
+			tr.Send("READ", key, int64(1+i%9), step)
+			step += int64(10 + i%31)
+			out = append(out, tr.Recv("READ", key, int64(1+i%9), step))
+		case 2:
+			out = append(out, tr.Atomic("WRITE", key, int64(1+i%5), step))
+		case 3:
+			tr.Send("WRITE", key, 3, step)
+			step += 2 // short window: retries rarely absorbed
+			out = append(out, tr.Recv("WRITE", key, 3, step))
+		}
+	}
+	tr.Finish()
+	return out
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := New(Default, seed), New(Default, seed)
+		da, db := drive(a), drive(b)
+		if !reflect.DeepEqual(da, db) {
+			t.Fatalf("seed %d: deliveries differ", seed)
+		}
+		if a.Report() != b.Report() {
+			t.Fatalf("seed %d: reports differ:\n%s\n%s", seed, a.Report(), b.Report())
+		}
+	}
+}
+
+func TestAccountingProperty(t *testing.T) {
+	configs := []FaultConfig{
+		Default,
+		{Drop: 0.5, Dup: 0.3, Delay: 0.3, Reorder: 0.2, Timeout: 8, MaxRetries: 2},
+		{Drop: 0.05},
+		{Dup: 0.9},
+		{Delay: 0.9, Timeout: 4, DelayMax: 40},
+		{Drop: 0.9, MaxRetries: 1},
+	}
+	for ci, cfg := range configs {
+		for seed := int64(1); seed <= 25; seed++ {
+			tr := New(cfg, seed)
+			for _, d := range drive(tr) {
+				if !d.Matched {
+					t.Fatalf("config %d seed %d: balanced workload produced unmatched recv", ci, seed)
+				}
+			}
+			rep := tr.Report()
+			if !rep.Accounted() {
+				t.Fatalf("config %d seed %d: report does not balance: %s", ci, seed, rep)
+			}
+			if rep.UnmatchedSends != 0 || rep.UnmatchedRecvs != 0 {
+				t.Fatalf("config %d seed %d: unmatched halves: %s", ci, seed, rep)
+			}
+		}
+	}
+}
+
+// TestParallelTransports exercises independent transports from
+// concurrent goroutines so `go test -race` vets the package's (absence
+// of) shared state.
+func TestParallelTransports(t *testing.T) {
+	var wg sync.WaitGroup
+	reports := make([]FaultReport, 8)
+	for i := range reports {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := New(Default, 42) // identical seeds → identical reports
+			drive(tr)
+			reports[i] = tr.Report()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(reports); i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("transport %d diverged: %s vs %s", i, reports[i], reports[0])
+		}
+	}
+}

@@ -2,8 +2,8 @@
 // it parses the program, builds the interval flow graph, solves the READ
 // and WRITE communication placement problems, and prints the annotated
 // program — or, with -mode, the flow graph, the dataflow variable dump,
-// the PRE comparison, the prefetch placement, or an executed
-// machine-model comparison.
+// the PRE comparison, the prefetch placement, an executed machine-model
+// comparison, or an observability report.
 //
 // Usage:
 //
@@ -15,7 +15,11 @@
 //	-mode pre       classical PRE comparison (Morel-Renvoise, LCM, GNT)
 //	-mode prefetch  the program annotated with PREFETCH issue/demand pairs
 //	-mode run       execute naive vs atomic vs split under the cost model
+//	-mode stats     full observability report (phases, solver, runtime)
 //	-atomic         emit atomic READ/WRITE instead of Send/Recv halves
+//	-explain node   why communication is placed at that node (or "all")
+//	-trace out.json write a Chrome trace-event profile of the pipeline
+//	-json           render -mode stats as JSON instead of text
 //	-n int          problem size for -mode run (default 256)
 //	-seed int       branch-condition seed for -mode run
 //	-faults         inject seeded transport faults in -mode run
@@ -28,10 +32,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"text/tabwriter"
 
 	"givetake/internal/cfg"
@@ -41,25 +47,30 @@ import (
 	"givetake/internal/machine"
 	"givetake/internal/memopt"
 	"givetake/internal/netsim"
+	"givetake/internal/obs"
 	"givetake/internal/pre"
 
 	gt "givetake"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "gnt:", err)
 		os.Exit(1)
 	}
 }
 
 // run executes the CLI against the given streams; main is a thin wrapper
-// so tests can drive every mode in-process.
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+// so tests can drive every mode in-process. Diagnostics (flag errors,
+// usage) go to stderr so piped output stays clean.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("gnt", flag.ContinueOnError)
-	fs.SetOutput(stdout)
-	mode := fs.String("mode", "comm", "comm | graph | dump | pre | prefetch | run")
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "comm", "comm | graph | dump | pre | prefetch | run | stats")
 	atomic := fs.Bool("atomic", false, "emit atomic READ/WRITE instead of Send/Recv halves")
+	explain := fs.String("explain", "", "explain the placement at a node (preorder number, or \"all\")")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON profile to this file")
+	jsonOut := fs.Bool("json", false, "render -mode stats as JSON")
 	n := fs.Int64("n", 256, "problem size for -mode run")
 	seed := fs.Int64("seed", 1, "branch-condition seed for -mode run")
 	faults := fs.Bool("faults", false, "inject seeded transport faults in -mode run")
@@ -73,23 +84,93 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
+	// a recorder exists only when something will consume it; everywhere
+	// else the pipeline sees a nil Collector and pays nothing
+	var rec *obs.Recorder
+	var col obs.Collector
+	if *tracePath != "" || *mode == "stats" {
+		rec = obs.NewRecorder(obs.Config{Mem: true})
+		col = rec
+	}
+
 	src, err := readInput(fs.Arg(0), stdin)
 	if err != nil {
 		return err
 	}
+	program := fs.Arg(0)
+	if program == "" {
+		program = "<stdin>"
+	}
+	end := obs.Begin(col, "parse")
 	prog, err := gt.Parse(src)
 	if err != nil {
+		end()
 		return err
 	}
+	end("decls", len(prog.Decls))
 
-	switch *mode {
+	cfgRun := interp.Config{N: *n, Seed: *seed, Collector: col}
+	if *faults {
+		budget := *retries
+		if budget == 0 {
+			budget = -1 // flag 0 = no retries (config 0 means default)
+		}
+		cfgRun.Faults = netsim.FaultConfig{
+			Drop: *drop, Dup: *dup, Delay: *delay, Reorder: *reorder,
+			Timeout: *timeout, MaxRetries: budget,
+		}
+	}
+
+	if err := dispatch(*mode, *atomic, *explain, *jsonOut, prog, cfgRun, rec, col, program, stdout); err != nil {
+		return err
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+// dispatch runs one mode; separated from run so the trace file is
+// written after every mode, including the early-returning ones.
+func dispatch(mode string, atomic bool, explain string, jsonOut bool,
+	prog *ir.Program, cfgRun interp.Config, rec *obs.Recorder, col obs.Collector,
+	program string, stdout io.Writer) error {
+	if explain != "" {
+		a, err := comm.AnalyzeObs(prog, col)
+		if err != nil {
+			return err
+		}
+		if explain == "all" {
+			fmt.Fprint(stdout, a.ExplainAll())
+			return nil
+		}
+		node, err := strconv.Atoi(explain)
+		if err != nil {
+			return fmt.Errorf("-explain wants a node number or \"all\", got %q", explain)
+		}
+		s, err := a.ExplainNode(node)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, s)
+		return nil
+	}
+	switch mode {
 	case "comm":
-		a, err := comm.Analyze(prog)
+		a, err := comm.AnalyzeObs(prog, col)
 		if err != nil {
 			return err
 		}
 		opt := comm.DefaultOptions
-		if *atomic {
+		if atomic {
 			opt.Split = false
 		}
 		fmt.Fprint(stdout, a.AnnotatedSource(opt))
@@ -100,7 +181,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprint(stdout, g.String())
 	case "dump":
-		a, err := comm.Analyze(prog)
+		a, err := comm.AnalyzeObs(prog, col)
 		if err != nil {
 			return err
 		}
@@ -117,20 +198,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprint(stdout, a.AnnotatedSource())
 	case "run":
-		cfgRun := interp.Config{N: *n, Seed: *seed}
-		if *faults {
-			budget := *retries
-			if budget == 0 {
-				budget = -1 // flag 0 = no retries (config 0 means default)
-			}
-			cfgRun.Faults = netsim.FaultConfig{
-				Drop: *drop, Dup: *dup, Delay: *delay, Reorder: *reorder,
-				Timeout: *timeout, MaxRetries: budget,
-			}
-		}
 		return runMachine(prog, cfgRun, stdout)
+	case "stats":
+		return runStats(prog, cfgRun, rec, col, jsonOut, program, stdout)
 	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		return fmt.Errorf("unknown mode %q", mode)
 	}
 	return nil
 }
@@ -169,19 +241,41 @@ func runPRE(prog *ir.Program, stdout io.Writer) error {
 	return w.Flush()
 }
 
+// variants builds the three placements compared by -mode run and
+// -mode stats, wrapping each annotation in a placement span.
+func variants(prog *ir.Program, a *comm.Analysis, col obs.Collector) []struct {
+	name string
+	p    *ir.Program
+} {
+	out := make([]struct {
+		name string
+		p    *ir.Program
+	}, 0, 3)
+	build := func(name string, f func() *ir.Program) {
+		end := obs.Begin(col, "placement:"+name)
+		p := f()
+		end()
+		out = append(out, struct {
+			name string
+			p    *ir.Program
+		}{name, p})
+	}
+	build("naive", func() *ir.Program {
+		return comm.NaiveAnnotate(prog, comm.Options{Reads: true, Writes: true})
+	})
+	build("gnt-atomic", func() *ir.Program {
+		return a.Annotate(comm.Options{Reads: true, Writes: true})
+	})
+	build("gnt-split", func() *ir.Program { return a.Annotate(comm.DefaultOptions) })
+	return out
+}
+
 func runMachine(prog *ir.Program, cfgRun interp.Config, stdout io.Writer) error {
-	a, err := comm.Analyze(prog)
+	a, err := comm.AnalyzeObs(prog, cfgRun.Collector)
 	if err != nil {
 		return err
 	}
-	rows := []struct {
-		name string
-		p    *ir.Program
-	}{
-		{"naive", comm.NaiveAnnotate(prog, comm.Options{Reads: true, Writes: true})},
-		{"gnt-atomic", a.Annotate(comm.Options{Reads: true, Writes: true})},
-		{"gnt-split", a.Annotate(comm.DefaultOptions)},
-	}
+	rows := variants(prog, a, cfgRun.Collector)
 	withFaults := cfgRun.Faults.Enabled()
 	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	if withFaults {
@@ -191,7 +285,9 @@ func runMachine(prog *ir.Program, cfgRun interp.Config, stdout io.Writer) error 
 	}
 	reports := make([]string, 0, len(rows))
 	for _, r := range rows {
-		tr, err := interp.Run(r.p, cfgRun)
+		cfgV := cfgRun
+		cfgV.SpanName = "execute:" + r.name
+		tr, err := interp.Run(r.p, cfgV)
 		if err != nil {
 			return err
 		}
@@ -217,4 +313,74 @@ func runMachine(prog *ir.Program, cfgRun interp.Config, stdout io.Writer) error 
 		}
 	}
 	return nil
+}
+
+// runStats assembles the full observability report: pipeline phases,
+// solver counters (with the one-pass invariant checked), per-variant
+// runtime statistics with cost-model evaluations, and PRE metrics.
+func runStats(prog *ir.Program, cfgRun interp.Config, rec *obs.Recorder, col obs.Collector,
+	jsonOut bool, program string, stdout io.Writer) error {
+	a, err := comm.AnalyzeObs(prog, col)
+	if err != nil {
+		return err
+	}
+	report := &obs.Report{Program: program, Solver: a.Counters()}
+	for _, sc := range report.Solver {
+		if err := sc.OnePass(); err != nil {
+			return err
+		}
+	}
+	for _, r := range variants(prog, a, col) {
+		cfgV := cfgRun
+		cfgV.SpanName = "execute:" + r.name
+		tr, err := interp.Run(r.p, cfgV)
+		if err != nil {
+			return err
+		}
+		rs := tr.Stats(r.name)
+		rs.Cost = map[string]obs.CostStats{
+			"high-latency": machine.HighLatency.Cost(tr).Stats(),
+			"low-latency":  machine.LowLatency.Cost(tr).Stats(),
+		}
+		report.Runtime = append(report.Runtime, rs)
+	}
+	if extra, err := preMetricsJSON(prog); err == nil && extra != nil {
+		report.Extra = map[string]json.RawMessage{"pre": extra}
+	}
+	if rec != nil {
+		report.Phases = rec.Phases()
+		report.Counters = rec.Counters()
+	}
+	if jsonOut {
+		b, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(stdout, "%s\n", b)
+		return err
+	}
+	return report.WriteText(stdout)
+}
+
+// preMetricsJSON renders the three PRE analyses' metrics, or nil when
+// the program yields no PRE problem.
+func preMetricsJSON(prog *ir.Program) (json.RawMessage, error) {
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	p, names := pre.BuildProblem(g)
+	if len(names) == 0 {
+		return nil, nil
+	}
+	gnt, _, err := p.GiveNTake()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]pre.Metrics{
+		"lcm":            p.Measure(p.LazyCodeMotion()),
+		"morel-renvoise": p.Measure(p.MorelRenvoise()),
+		"give-n-take":    p.Measure(gnt),
+	}
+	return json.Marshal(out)
 }

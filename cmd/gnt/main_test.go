@@ -28,11 +28,20 @@ endif
 
 func runCLI(t *testing.T, args []string, stdin string) string {
 	t.Helper()
-	var out strings.Builder
-	if err := run(args, strings.NewReader(stdin), &out); err != nil {
-		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
+	var out, errOut strings.Builder
+	if err := run(args, strings.NewReader(stdin), &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s\nstderr:\n%s", args, err, out.String(), errOut.String())
 	}
 	return out.String()
+}
+
+// runCLIErr drives the CLI expecting failure or diagnostics; it returns
+// stdout, stderr, and the error.
+func runCLIErr(t *testing.T, args []string, stdin string) (string, string, error) {
+	t.Helper()
+	var out, errOut strings.Builder
+	err := run(args, strings.NewReader(stdin), &out, &errOut)
+	return out.String(), errOut.String(), err
 }
 
 func TestCommModeDefault(t *testing.T) {
@@ -147,15 +156,26 @@ func TestRunModeWithoutFaultsUnchanged(t *testing.T) {
 }
 
 func TestUnknownMode(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-mode", "bogus"}, strings.NewReader("x = 1"), &out); err == nil {
+	if _, _, err := runCLIErr(t, []string{"-mode", "bogus"}, "x = 1"); err == nil {
 		t.Fatal("unknown mode should error")
 	}
 }
 
 func TestParseErrorPropagates(t *testing.T) {
-	var out strings.Builder
-	if err := run(nil, strings.NewReader("do i = \n"), &out); err == nil {
+	if _, _, err := runCLIErr(t, nil, "do i = \n"); err == nil {
 		t.Fatal("parse error should propagate")
+	}
+}
+
+func TestFlagErrorsGoToStderr(t *testing.T) {
+	out, errOut, err := runCLIErr(t, []string{"-bogusflag"}, "x = 1")
+	if err == nil {
+		t.Fatal("unknown flag should error")
+	}
+	if out != "" {
+		t.Fatalf("flag diagnostics leaked to stdout:\n%s", out)
+	}
+	if !strings.Contains(errOut, "bogusflag") || !strings.Contains(errOut, "Usage") {
+		t.Fatalf("stderr missing flag diagnostics:\n%s", errOut)
 	}
 }

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"givetake/internal/obs"
+)
+
+// fig1File is the committed copy of the paper's Figure 1 program; the
+// golden outputs in testdata/ were produced from it.
+const fig1File = "../../testdata/fig1.f"
+
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestGraphModeGolden(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "graph", fig1File}, "")
+	if want := golden(t, "fig1_graph.golden"); out != want {
+		t.Errorf("-mode graph drifted from golden:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+func TestDumpModeGolden(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "dump", fig1File}, "")
+	if want := golden(t, "fig1_dump.golden"); out != want {
+		t.Errorf("-mode dump drifted from golden:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+func TestStatsModeText(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "stats", "-n", "50", fig1File}, "")
+	for _, want := range []string{
+		"phases:", "solver:", "runtime:", "cost models:",
+		"parse", "solve-read", "solve-write", "execute:gnt-split",
+		"READ", "WRITE", "naive", "gnt-atomic", "gnt-split",
+		"high-latency", "low-latency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsModeJSON(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "stats", "-json", "-n", "50", fig1File}, "")
+	var rep obs.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stats -json is not valid JSON: %v\n%s", err, out)
+	}
+	if len(rep.Phases) == 0 {
+		t.Error("report has no phases")
+	}
+	if len(rep.Solver) != 2 {
+		t.Fatalf("want READ and WRITE solver counters, got %d", len(rep.Solver))
+	}
+	for _, sc := range rep.Solver {
+		if err := sc.OnePass(); err != nil {
+			t.Error(err)
+		}
+		if want := int64(20 * sc.Nodes); sc.EquationEvals != want {
+			t.Errorf("%s: EquationEvals = %d, want %d (20 per node)", sc.Problem, sc.EquationEvals, want)
+		}
+		if sc.WordOps != sc.SetOps*int64(sc.Words) {
+			t.Errorf("%s: WordOps %d != SetOps %d × Words %d", sc.Problem, sc.WordOps, sc.SetOps, sc.Words)
+		}
+	}
+	if len(rep.Runtime) != 3 {
+		t.Fatalf("want 3 runtime variants, got %d", len(rep.Runtime))
+	}
+	for _, rt := range rep.Runtime {
+		if rt.Cost["high-latency"].Total <= 0 || rt.Cost["low-latency"].Total <= 0 {
+			t.Errorf("%s: missing cost-model rows: %+v", rt.Name, rt.Cost)
+		}
+	}
+	// fig1's right-hand sides are all trivial, so it yields no PRE
+	// problem; a program with a loop-invariant expression must surface
+	// the PRE metrics in the extra section
+	out = runCLI(t, []string{"-mode", "stats", "-json", "-n", "10"},
+		"do i = 1, n\n x(i) = b + c\nenddo\n")
+	var rep2 obs.Report
+	if err := json.Unmarshal([]byte(out), &rep2); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := rep2.Extra["pre"]
+	if !ok {
+		t.Fatalf("report missing PRE metrics in extra section:\n%s", out)
+	}
+	var preMetrics map[string]struct {
+		Inserts int `json:"inserts"`
+	}
+	if err := json.Unmarshal(raw, &preMetrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"lcm", "morel-renvoise", "give-n-take"} {
+		if _, ok := preMetrics[k]; !ok {
+			t.Errorf("PRE metrics missing %q: %s", k, raw)
+		}
+	}
+}
+
+// The trace flag must produce a loadable Chrome trace-event file: a
+// traceEvents array of M/X/C events covering the pipeline phases.
+func TestTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	runCLI(t, []string{"-trace", path, fig1File}, "")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+	seen := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M", "C":
+		case "X":
+			if ev.Dur <= 0 {
+				t.Errorf("complete event %q has non-positive dur %v", ev.Name, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		seen[ev.Name] = true
+	}
+	for _, want := range []string{"parse", "cfg-build", "interval-reduce", "solve-read", "solve-write"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q span", want)
+		}
+	}
+}
+
+func TestExplainNode(t *testing.T) {
+	out := runCLI(t, []string{"-explain", "1", fig1File}, "")
+	for _, want := range []string{"node 1", "READ_Send", "Eq.14", "needed:", "missing:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	all := runCLI(t, []string{"-explain", "all", fig1File}, "")
+	if !strings.Contains(all, "READ_Recv") {
+		t.Fatalf("explain all missing the lazy half:\n%s", all)
+	}
+	if _, _, err := runCLIErr(t, []string{"-explain", "99", fig1File}, ""); err == nil {
+		t.Error("out-of-range node should error")
+	}
+	if _, _, err := runCLIErr(t, []string{"-explain", "zz", fig1File}, ""); err == nil {
+		t.Error("non-numeric node should error")
+	}
+}
+
+// Observability is opt-in and passive: attaching a recorder must not
+// change what the pipeline computes. -mode run with and without -trace
+// must print identical bytes.
+func TestNilCollectorInvariance(t *testing.T) {
+	plain := runCLI(t, []string{"-mode", "run", "-n", "50", fig1File}, "")
+	path := filepath.Join(t.TempDir(), "trace.json")
+	traced := runCLI(t, []string{"-mode", "run", "-n", "50", "-trace", path, fig1File}, "")
+	if plain != traced {
+		t.Fatalf("recorder changed -mode run output:\n--- plain ---\n%s--- traced ---\n%s", plain, traced)
+	}
+	alsoFaults := runCLI(t, []string{"-mode", "run", "-n", "50", "-faults", fig1File}, "")
+	path2 := filepath.Join(t.TempDir(), "trace.json")
+	tracedFaults := runCLI(t, []string{"-mode", "run", "-n", "50", "-faults", "-trace", path2, fig1File}, "")
+	if alsoFaults != tracedFaults {
+		t.Fatalf("recorder changed faulty -mode run output")
+	}
+}

@@ -1,0 +1,134 @@
+// Command gntbench runs the GIVE-N-TAKE pipeline over a corpus of
+// mini-Fortran programs and writes a machine-readable benchmark
+// artifact: per-program phase timings and solver counters. CI runs it
+// on the testdata corpus and archives the result (BENCH_obs.json) so
+// solver-work regressions show up as artifact diffs.
+//
+// Usage:
+//
+//	gntbench [-out BENCH_obs.json] dir [dir...]
+//
+// Each directory is walked recursively for *.f files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"givetake/internal/comm"
+	"givetake/internal/obs"
+
+	gt "givetake"
+)
+
+// Schema identifies the artifact layout; bump on incompatible change.
+const Schema = "gnt-bench/v1"
+
+type artifact struct {
+	Schema string  `json:"schema"`
+	Corpus []entry `json:"corpus"`
+}
+
+type entry struct {
+	File   string      `json:"file"`
+	Report *obs.Report `json:"report"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_obs.json", "output file (\"-\" for stdout)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "gntbench: no corpus directories given")
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *out); err != nil {
+		fmt.Fprintln(os.Stderr, "gntbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dirs []string, out string) error {
+	files, err := collect(dirs)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no .f files under %v", dirs)
+	}
+	art := artifact{Schema: Schema}
+	for _, file := range files {
+		rep, err := bench(file)
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		art.Corpus = append(art.Corpus, entry{File: filepath.ToSlash(file), Report: rep})
+	}
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
+}
+
+// collect walks the directories for .f programs, sorted for stable
+// artifact ordering.
+func collect(dirs []string) ([]string, error) {
+	var files []string
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".f") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// bench runs the analysis pipeline once on a program, recording phase
+// spans and solver counters. One-pass violations fail the run: the
+// artifact must never archive counters that break the O(E) claim.
+func bench(file string) (*obs.Report, error) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := gt.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	rec := obs.NewRecorder(obs.Config{Mem: true})
+	a, err := comm.AnalyzeObs(prog, rec)
+	if err != nil {
+		return nil, err
+	}
+	rep := &obs.Report{
+		Program: filepath.ToSlash(file),
+		Solver:  a.Counters(),
+		Phases:  rec.Phases(),
+	}
+	for _, sc := range rep.Solver {
+		if err := sc.OnePass(); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"../../testdata"}, out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(b, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if art.Schema != Schema {
+		t.Errorf("schema = %q, want %q", art.Schema, Schema)
+	}
+	if len(art.Corpus) < 5 {
+		t.Fatalf("corpus has %d entries, want the full testdata set", len(art.Corpus))
+	}
+	for _, e := range art.Corpus {
+		if e.Report == nil || len(e.Report.Solver) == 0 || len(e.Report.Phases) == 0 {
+			t.Errorf("%s: incomplete report", e.File)
+			continue
+		}
+		for _, sc := range e.Report.Solver {
+			if err := sc.OnePass(); err != nil {
+				t.Errorf("%s: %v", e.File, err)
+			}
+		}
+	}
+}
+
+func TestBenchNoCorpus(t *testing.T) {
+	if err := run([]string{t.TempDir()}, filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("empty corpus should error")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"givetake/internal/ir"
 	"givetake/internal/machine"
 	"givetake/internal/netsim"
+	"givetake/internal/obs"
 )
 
 // Program is a parsed mini-Fortran compilation unit.
@@ -163,3 +164,37 @@ type FaultReport = netsim.FaultReport
 // DefaultFaultConfig is the moderate-loss profile used by
 // `gnt -mode run -faults`.
 var DefaultFaultConfig = netsim.Default
+
+// Observability ---------------------------------------------------------
+
+// Collector receives phase spans and counters from the pipeline. All
+// instrumented entry points accept a nil Collector, which records
+// nothing and costs nothing.
+type Collector = obs.Collector
+
+// ObsConfig selects what a Recorder captures (e.g. allocation deltas).
+type ObsConfig = obs.Config
+
+// Recorder is the standard Collector: it accumulates spans and
+// counters and renders them as a Chrome trace-event JSON profile
+// (WriteTrace, Perfetto-loadable) or as Report sections.
+type Recorder = obs.Recorder
+
+// Report is the aggregated observability output of one pipeline run:
+// phase timings, solver counters, runtime statistics, cost models.
+type Report = obs.Report
+
+// SolverCounters is the work profile of one solve — the empirical
+// witness of the paper's one-pass O(E) complexity claim.
+type SolverCounters = obs.SolverCounters
+
+// NewRecorder returns an empty recorder whose epoch is now.
+func NewRecorder(cfg ObsConfig) *Recorder { return obs.NewRecorder(cfg) }
+
+// GenerateCommObs is GenerateComm with observability: pipeline stages
+// report spans to col, and the returned analysis exposes solver
+// counters via its Counters method. A nil col behaves exactly like
+// GenerateComm.
+func GenerateCommObs(p *Program, col Collector) (*CommGen, error) {
+	return comm.AnalyzeObs(p, col)
+}

@@ -21,6 +21,7 @@ import (
 	"givetake/internal/frontend"
 	"givetake/internal/interval"
 	"givetake/internal/ir"
+	"givetake/internal/obs"
 	"givetake/internal/sections"
 	"givetake/internal/vn"
 )
@@ -56,23 +57,41 @@ type Analysis struct {
 // flow graph and the section universe, derives the READ and WRITE initial
 // sets, and solves both placement problems.
 func Analyze(prog *ir.Program) (*Analysis, error) {
+	return AnalyzeObs(prog, nil)
+}
+
+// AnalyzeObs is Analyze with observability: each pipeline stage (CFG
+// build, interval reduction, section-universe collection, the two
+// dataflow solves) is wrapped in a span on ocol, annotated with its
+// headline sizes, and the solver counters are exported via Counters.
+// A nil collector makes it behave — and cost — exactly like Analyze.
+func AnalyzeObs(prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
+	end := obs.Begin(ocol, "cfg-build")
 	c, err := cfg.Build(prog)
 	if err != nil {
+		end()
 		return nil, err
 	}
+	end("blocks", len(c.Blocks))
+	end = obs.Begin(ocol, "interval-reduce")
 	g, err := interval.FromCFG(c)
 	if err != nil {
+		end()
 		return nil, err
 	}
+	maxLevel, _ := g.LevelStats()
+	end("nodes", len(g.Nodes), "max-level", maxLevel)
 	a := &Analysis{
 		Prog:     prog,
 		CFG:      c,
 		Graph:    g,
 		Universe: sections.NewUniverse(),
 	}
+	end = obs.Begin(ocol, "section-universe")
 	col := &collector{a: a, env: vn.NewEnv(a.Universe.Tab), ranges: map[string]sections.LoopRange{}}
 	col.walk(prog.Body)
 	if col.err != nil {
+		end()
 		return nil, col.err
 	}
 
@@ -131,14 +150,38 @@ func Analyze(prog *ir.Program) (*Analysis, error) {
 		}
 	}
 
+	end("items", u, "events", len(col.events), "reductions", len(a.Reduce))
+
+	end = obs.Begin(ocol, "solve-read")
 	a.Read = core.Solve(g, u, a.ReadInit)
+	end("eq-evals", a.Read.EquationEvals, "set-ops", a.Read.Stats.SetOps)
+
+	end = obs.Begin(ocol, "reverse-graph")
 	rev, err := interval.Reverse(g)
 	if err != nil {
+		end()
 		return nil, err
 	}
 	a.RevGraph = rev
+	end()
+
+	end = obs.Begin(ocol, "solve-write")
 	a.Write = core.Solve(rev, u, a.WriteInit)
+	end("eq-evals", a.Write.EquationEvals, "set-ops", a.Write.Stats.SetOps)
 	return a, nil
+}
+
+// Counters returns the solver work profiles of the READ and WRITE
+// solves for a Report's solver section.
+func (a *Analysis) Counters() []obs.SolverCounters {
+	var out []obs.SolverCounters
+	if a.Read != nil {
+		out = append(out, a.Read.Counters("READ"))
+	}
+	if a.Write != nil {
+		out = append(out, a.Write.Counters("WRITE"))
+	}
+	return out
 }
 
 // AnalyzeSource parses, checks, and analyzes program text.

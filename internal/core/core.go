@@ -29,6 +29,7 @@ import (
 
 	"givetake/internal/bitset"
 	"givetake/internal/interval"
+	"givetake/internal/obs"
 )
 
 // Mode selects the production schedule of a solution.
@@ -123,6 +124,52 @@ type Solution struct {
 	// EquationEvals counts individual equation evaluations, for the
 	// O(E) complexity experiment.
 	EquationEvals int
+
+	// Stats carries the solver work counters (equation evaluations,
+	// bitvector set/word operations, interval levels); see Counters.
+	Stats obs.SolverCounters
+
+	// evals tracks, per equation group and node, how often that group
+	// was evaluated. The paper's Figure 15 pass structure evaluates
+	// every group exactly once per node; enter panics on the second
+	// visit, making any regression of the one-pass O(E) property loud.
+	evals [grpCount][]uint8
+}
+
+// Equation groups of the Figure 15 pass structure. Eqs. 11–15 run once
+// per schedule, so EAGER and LAZY count as separate groups.
+const (
+	grpS1      = iota // Eqs. 1–8
+	grpS2             // Eqs. 9–10
+	grpS3Eager        // Eqs. 11–13, EAGER
+	grpS3Lazy         // Eqs. 11–13, LAZY
+	grpS4Eager        // Eqs. 14–15, EAGER
+	grpS4Lazy         // Eqs. 14–15, LAZY
+	grpCount
+)
+
+var grpName = [grpCount]string{"Eqs.1-8", "Eqs.9-10", "Eqs.11-13/eager", "Eqs.11-13/lazy", "Eqs.14-15/eager", "Eqs.14-15/lazy"}
+var grpEqs = [grpCount]int{8, 2, 3, 3, 2, 2}
+
+// enter records one evaluation of equation group grp at node id and
+// fails loudly if the group was already evaluated there — the solver's
+// O(E) bound rests on every equation being evaluated exactly once per
+// node, and a silent re-evaluation would invalidate every complexity
+// number the observability layer reports.
+func (s *Solution) enter(grp, id int) {
+	if s.evals[grp][id]++; s.evals[grp][id] > 1 {
+		panic(fmt.Sprintf("core: %s re-evaluated at node %d (one-pass O(E) invariant broken)", grpName[grp], id))
+	}
+	s.EquationEvals += grpEqs[grp]
+	s.Stats.EquationEvals += int64(grpEqs[grp])
+}
+
+// Counters returns the solver work counters labeled with the problem
+// name (e.g. "READ", "WRITE").
+func (s *Solution) Counters(problem string) obs.SolverCounters {
+	c := s.Stats
+	c.Problem = problem
+	return c
 }
 
 // Place returns the placement of the given mode.
@@ -141,6 +188,13 @@ func (s *Solution) Place(m Mode) *Placement {
 func Solve(g *interval.Graph, universe int, init *Init) *Solution {
 	n := len(g.Nodes)
 	s := &Solution{Graph: g, Universe: universe}
+	s.Stats.Nodes = n
+	s.Stats.Universe = universe
+	s.Stats.Words = (universe + 63) / 64
+	s.Stats.MaxLevel, s.Stats.NodesPerLevel = g.LevelStats()
+	for grp := range s.evals {
+		s.evals[grp] = make([]uint8, n)
+	}
 	// one slab per variable keeps the per-node sets contiguous and the
 	// allocation count independent of graph size
 	alloc := func() []*bitset.Set {
@@ -191,20 +245,46 @@ func Solve(g *interval.Graph, universe int, init *Init) *Solution {
 		s.eq14_15(nd, Eager)
 		s.eq14_15(nd, Lazy)
 	}
+	s.finishStats()
 	return s
+}
+
+// finishStats derives the aggregate counters after the passes: total
+// word operations and the per-equation-per-node evaluation bounds that
+// witness the one-pass property empirically.
+func (s *Solution) finishStats() {
+	s.Stats.WordOps = s.Stats.SetOps * int64(s.Stats.Words)
+	min, max := -1, 0
+	for grp := range s.evals {
+		for _, c := range s.evals[grp] {
+			if min < 0 || int(c) < min {
+				min = int(c)
+			}
+			if int(c) > max {
+				max = int(c)
+			}
+		}
+	}
+	if min < 0 {
+		min = 0 // empty graph
+	}
+	s.Stats.EvalsPerEqMin, s.Stats.EvalsPerEqMax = min, max
 }
 
 // eq1_8 evaluates the consumption-propagation set S1 at node n.
 func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Set, int) *bitset.Set) {
 	id := n.ID
-	s.EquationEvals += 8
+	s.enter(grpS1, id)
+	ops := 0
 
 	// Eq. 1: STEAL(n) = STEAL_init(n) ∪ STEAL_loc(LASTCHILD(n))
 	if v := initSet(init.Steal, id); v != nil {
 		s.Steal[id].UnionWith(v)
+		ops++
 	}
 	if n.LastChild != nil {
 		s.Steal[id].UnionWith(s.StealLoc[n.LastChild.ID])
+		ops++
 	}
 
 	// NoHoist (§4.1, §5.3): suppressing the zero-trip hoist by dropping
@@ -219,6 +299,7 @@ func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Se
 		for _, e := range n.Out {
 			if e.Type == interval.Entry {
 				s.Steal[id].UnionWith(s.TakeLoc[e.To.ID])
+				ops++
 			}
 		}
 	}
@@ -226,17 +307,21 @@ func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Se
 	// Eq. 2: GIVE(n) = GIVE_init(n) ∪ GIVE_loc(LASTCHILD(n))
 	if v := initSet(init.Give, id); v != nil {
 		s.Give[id].UnionWith(v)
+		ops++
 	}
 	if n.LastChild != nil {
 		s.Give[id].UnionWith(s.GiveLoc[n.LastChild.ID])
+		ops++
 	}
 
 	// Eq. 3: BLOCK(n) = STEAL(n) ∪ GIVE(n) ∪ ⋃_{s∈SUCCS^E} BLOCK_loc(s)
 	s.Block[id].UnionWith(s.Steal[id])
 	s.Block[id].UnionWith(s.Give[id])
+	ops += 2
 	for _, e := range n.Out {
 		if e.Type == interval.Entry {
 			s.Block[id].UnionWith(s.BlockLoc[e.To.ID])
+			ops++
 		}
 	}
 
@@ -252,6 +337,7 @@ func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Se
 		} else {
 			s.TakenOut[id].IntersectWith(s.TakenIn[e.To.ID])
 		}
+		ops++
 	}
 
 	// Eq. 5: TAKE(n) = TAKE_init(n)
@@ -264,6 +350,7 @@ func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Se
 	take := s.Take[id]
 	if v := initSet(init.Take, id); v != nil {
 		take.UnionWith(v)
+		ops++
 	}
 	if !n.NoHoist {
 		guaranteed := bitset.New(s.Universe)
@@ -274,6 +361,7 @@ func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Se
 				hasEntry = true
 				guaranteed.UnionWith(s.TakenIn[e.To.ID])
 				may.UnionWith(s.TakeLoc[e.To.ID])
+				ops += 2
 			}
 		}
 		if hasEntry {
@@ -282,6 +370,7 @@ func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Se
 			may.IntersectWith(s.TakenOut[id])
 			may.SubtractWith(s.Block[id])
 			take.UnionWith(may)
+			ops += 5
 		}
 	}
 
@@ -289,26 +378,32 @@ func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Se
 	s.TakenIn[id].Copy(s.TakenOut[id])
 	s.TakenIn[id].SubtractWith(s.Block[id])
 	s.TakenIn[id].UnionWith(take)
+	ops += 3
 
 	// Eq. 7: BLOCK_loc(n) = (BLOCK(n) ∪ ⋃_{s∈SUCCS^F} BLOCK_loc(s)) − TAKE(n)
 	s.BlockLoc[id].Copy(s.Block[id])
 	for _, e := range n.Out {
 		if e.Type == interval.Forward {
 			s.BlockLoc[id].UnionWith(s.BlockLoc[e.To.ID])
+			ops++
 		}
 	}
 	s.BlockLoc[id].SubtractWith(take)
+	ops += 2
 
 	// Eq. 8: TAKE_loc(n) = TAKE(n) ∪ (⋃_{s∈SUCCS^EF} TAKE_loc(s) − BLOCK(n))
 	acc := bitset.New(s.Universe)
 	for _, e := range n.Out {
 		if interval.EF.Has(e.Type) {
 			acc.UnionWith(s.TakeLoc[e.To.ID])
+			ops++
 		}
 	}
 	acc.SubtractWith(s.Block[id])
 	acc.UnionWith(take)
 	s.TakeLoc[id].Copy(acc)
+	ops += 3
+	s.Stats.SetOps += int64(ops)
 }
 
 // eq9_10 evaluates the interval-summary set S2 at node n. On reversed
@@ -318,7 +413,8 @@ func (s *Solution) eq1_8(n *interval.Node, init *Init, initSet func([]*bitset.Se
 // the GIVE_loc intersection and ⊤ to STEAL_loc.
 func (s *Solution) eq9_10(n *interval.Node) {
 	id := n.ID
-	s.EquationEvals += 2
+	s.enter(grpS2, id)
+	ops := 0
 	invertedJump := func(e interval.Edge) bool {
 		return e.Type == interval.Jump && e.From.Level < e.To.Level
 	}
@@ -339,43 +435,57 @@ func (s *Solution) eq9_10(n *interval.Node) {
 		} else {
 			meet.IntersectWith(s.GiveLoc[e.From.ID])
 		}
+		ops++
 	}
 	gl := s.GiveLoc[id]
 	gl.UnionWith(s.Give[id])
 	gl.UnionWith(s.Take[id])
+	ops += 2
 	if meet != nil && !bottomed {
 		gl.UnionWith(meet)
+		ops++
 	}
 	gl.SubtractWith(s.Steal[id])
+	ops++
 
 	// Eq. 10: STEAL_loc(n) = STEAL(n)
 	//                      ∪ ⋃_{p∈PREDS^FJ} (STEAL_loc(p) − GIVE_loc(p))
 	//                      ∪ ⋃_{p∈PREDS^S} STEAL_loc(p)
 	sl := s.StealLoc[id]
 	sl.UnionWith(s.Steal[id])
+	ops++
 	for _, e := range n.In {
 		switch {
 		case interval.FJ.Has(e.Type):
 			if invertedJump(e) {
 				sl.Fill() // unknown predecessor summary ⇒ assume ⊤
+				ops++
 				continue
 			}
 			d := s.StealLoc[e.From.ID].Clone()
 			d.SubtractWith(s.GiveLoc[e.From.ID])
 			sl.UnionWith(d)
+			ops += 3
 		case e.Type == interval.Synthetic:
 			// p is the header of an interval enclosing the source of a
 			// jump; the interval may be left half-done, so resupplies
 			// (GIVE_loc) cannot be trusted and are not subtracted.
 			sl.UnionWith(s.StealLoc[e.From.ID])
+			ops++
 		}
 	}
+	s.Stats.SetOps += int64(ops)
 }
 
 // eq11_13 evaluates the production-placing set S3 at node n for mode m.
 func (s *Solution) eq11_13(n *interval.Node, m Mode) {
 	id := n.ID
-	s.EquationEvals += 3
+	if m == Eager {
+		s.enter(grpS3Eager, id)
+	} else {
+		s.enter(grpS3Lazy, id)
+	}
+	ops := 0
 	p := s.Place(m)
 
 	// Eq. 11: GIVEN_in(n) = (GIVEN(HEADER(n)) − STEAL(HEADER(n)))
@@ -396,6 +506,7 @@ func (s *Solution) eq11_13(n *interval.Node, m Mode) {
 		inherit := p.Given[h.ID].Clone()
 		inherit.SubtractWith(s.Steal[h.ID])
 		gin.UnionWith(inherit)
+		ops += 3
 	}
 	var meet, join *bitset.Set
 	for _, e := range n.In {
@@ -410,11 +521,13 @@ func (s *Solution) eq11_13(n *interval.Node, m Mode) {
 			meet.IntersectWith(out)
 			join.UnionWith(out)
 		}
+		ops += 2
 	}
 	if meet != nil {
 		gin.UnionWith(meet)
 		join.IntersectWith(s.TakenIn[id])
 		gin.UnionWith(join)
+		ops += 3
 	}
 
 	// Eq. 12: GIVEN(n) = GIVEN_in(n) ∪ TAKEN_in(n)   (EAGER)
@@ -425,30 +538,42 @@ func (s *Solution) eq11_13(n *interval.Node, m Mode) {
 	} else {
 		p.Given[id].UnionWith(s.Take[id])
 	}
+	ops += 2
 
 	// Eq. 13: GIVEN_out(n) = (GIVE(n) ∪ GIVEN(n)) − STEAL(n)
 	p.GivenOut[id].Copy(p.Given[id])
 	p.GivenOut[id].UnionWith(s.Give[id])
 	p.GivenOut[id].SubtractWith(s.Steal[id])
+	ops += 3
+	s.Stats.SetOps += int64(ops)
 }
 
 // eq14_15 evaluates the result set S4 at node n for mode m.
 func (s *Solution) eq14_15(n *interval.Node, m Mode) {
 	id := n.ID
-	s.EquationEvals += 2
+	if m == Eager {
+		s.enter(grpS4Eager, id)
+	} else {
+		s.enter(grpS4Lazy, id)
+	}
+	ops := 0
 	p := s.Place(m)
 
 	// Eq. 14: RES_in(n) = GIVEN(n) − GIVEN_in(n)
 	p.ResIn[id].Copy(p.Given[id])
 	p.ResIn[id].SubtractWith(p.GivenIn[id])
+	ops += 2
 
 	// Eq. 15: RES_out(n) = ⋃_{s∈SUCCS^FJ} GIVEN_in(s) − GIVEN_out(n)
 	for _, e := range n.Out {
 		if interval.FJ.Has(e.Type) {
 			p.ResOut[id].UnionWith(p.GivenIn[e.To.ID])
+			ops++
 		}
 	}
 	p.ResOut[id].SubtractWith(p.GivenOut[id])
+	ops++
+	s.Stats.SetOps += int64(ops)
 }
 
 // Dump renders every dataflow variable for debugging, using name(i) for

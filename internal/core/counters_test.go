@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"givetake/internal/bitset"
+)
+
+// The solver counters are the empirical witness of the §5.2 complexity
+// claim: 20 equation evaluations per node (Eqs. 1–10 once, Eqs. 11–15
+// once per schedule), each exactly once, and WordOps = SetOps × Words.
+func TestSolverCounters(t *testing.T) {
+	sc := newScenario(t, `
+do i = 1, n
+    if test then
+        x = a
+    endif
+enddo
+y = a
+`)
+	sc.take("x = a")
+	sc.take("y = a")
+	s := sc.solve()
+
+	c := s.Counters("TEST")
+	if c.Problem != "TEST" {
+		t.Errorf("problem label = %q", c.Problem)
+	}
+	if c.Nodes != len(sc.g.Nodes) {
+		t.Errorf("Nodes = %d, want %d", c.Nodes, len(sc.g.Nodes))
+	}
+	if c.Universe != 1 || c.Words != 1 {
+		t.Errorf("Universe/Words = %d/%d, want 1/1", c.Universe, c.Words)
+	}
+	if err := c.OnePass(); err != nil {
+		t.Error(err)
+	}
+	if want := int64(20 * c.Nodes); c.EquationEvals != want {
+		t.Errorf("EquationEvals = %d, want %d", c.EquationEvals, want)
+	}
+	if int(c.EquationEvals) != s.EquationEvals {
+		t.Errorf("Stats.EquationEvals %d diverges from Solution.EquationEvals %d",
+			c.EquationEvals, s.EquationEvals)
+	}
+	if c.SetOps <= 0 || c.WordOps != c.SetOps*int64(c.Words) {
+		t.Errorf("SetOps=%d WordOps=%d Words=%d", c.SetOps, c.WordOps, c.Words)
+	}
+	if c.MaxLevel < 2 {
+		t.Errorf("MaxLevel = %d, want ≥ 2 (the loop nests)", c.MaxLevel)
+	}
+	total := 0
+	for _, n := range c.NodesPerLevel {
+		total += n
+	}
+	if total != c.Nodes {
+		t.Errorf("NodesPerLevel sums to %d, want %d", total, c.Nodes)
+	}
+}
+
+// A second evaluation of an equation group at a node would silently
+// void the O(E) bound; the solver must fail loudly instead.
+func TestDoubleEvaluationPanics(t *testing.T) {
+	sc := newScenario(t, "x = a\n")
+	s := sc.solve()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("re-evaluation did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "re-evaluated") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	// re-run one equation group on an already-solved instance
+	s.eq1_8(sc.g.Preorder[0], sc.init, func(v []*bitset.Set, id int) *bitset.Set { return nil })
+}

@@ -17,6 +17,7 @@ import (
 
 	"givetake/internal/ir"
 	"givetake/internal/netsim"
+	"givetake/internal/obs"
 )
 
 // DefaultMaxSteps is the step budget applied when Config.MaxSteps is
@@ -46,6 +47,13 @@ type Config struct {
 	// faults on never perturbs the branch-condition stream being
 	// measured. Zero derives a seed from Seed.
 	FaultSeed int64
+	// Collector receives an "execute" span per Run; nil records nothing
+	// and costs nothing (execution itself is never instrumented per
+	// statement).
+	Collector obs.Collector
+	// SpanName overrides the span name, to distinguish placement
+	// variants in one trace ("execute:gnt-split").
+	SpanName string
 }
 
 // maxSteps is the effective step budget.
@@ -136,6 +144,12 @@ func (t *Trace) UnmatchedSplit() (sends, recvs int64) {
 // Run executes the program and returns its trace.
 func Run(prog *ir.Program, cfg Config) (*Trace, error) {
 	cfg.MaxSteps = cfg.maxSteps()
+	spanName := cfg.SpanName
+	if spanName == "" {
+		spanName = "execute"
+	}
+	end := obs.Begin(cfg.Collector, spanName)
+	defer func() { end() }()
 	ex := &executor{
 		cfg:     cfg,
 		prog:    prog,
@@ -187,7 +201,52 @@ func Run(prog *ir.Program, cfg Config) (*Trace, error) {
 		rep := ex.net.Report()
 		ex.trace.Faults = &rep
 	}
+	// explicit close attaches the result sizes; the deferred end() is
+	// then a no-op (it only fires on error paths)
+	end("steps", ex.trace.Steps, "events", len(ex.trace.Events))
 	return ex.trace, nil
+}
+
+// Stats aggregates the trace into an obs.RuntimeStats row named name
+// (the placement variant). Cost-model rows are attached by the caller.
+func (t *Trace) Stats(name string) obs.RuntimeStats {
+	rs := obs.RuntimeStats{
+		Name:       name,
+		Steps:      t.Steps,
+		Messages:   t.Messages(),
+		Volume:     t.Volume(),
+		OverlapMin: -1,
+	}
+	pairs, usends, urecvs := t.Pairs()
+	rs.UnmatchedSends, rs.UnmatchedRecvs = int64(len(usends)), int64(len(urecvs))
+	if len(pairs) > 0 {
+		rs.OverlapHist = &obs.Histogram{}
+	}
+	for _, p := range pairs {
+		d := p.Recv.Step - p.Send.Step
+		rs.SplitPairs++
+		rs.OverlapTotal += d
+		if rs.OverlapMin < 0 || d < rs.OverlapMin {
+			rs.OverlapMin = d
+		}
+		if d > rs.OverlapMax {
+			rs.OverlapMax = d
+		}
+		rs.OverlapHist.Add(d)
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
+		rs.Retries += int64(e.Retries)
+		rs.Suppressed += int64(e.Suppressed)
+		rs.StallSteps += e.Stall
+		if e.Degraded {
+			rs.Degraded++
+		}
+	}
+	if t.Faults != nil {
+		rs.Faults = t.Faults.Counters()
+	}
+	return rs
 }
 
 type executor struct {

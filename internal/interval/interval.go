@@ -499,6 +499,23 @@ func (g *Graph) check() error {
 	return nil
 }
 
+// LevelStats summarizes the interval nesting of the graph for the
+// observability layer: the deepest level among real nodes (1 when the
+// program has no loops) and per-level node counts, indexed by level
+// (index 0 is always zero — only the virtual ROOT lives at level 0).
+func (g *Graph) LevelStats() (maxLevel int, perLevel []int) {
+	for _, n := range g.Nodes {
+		if n.Level > maxLevel {
+			maxLevel = n.Level
+		}
+	}
+	perLevel = make([]int, maxLevel+1)
+	for _, n := range g.Nodes {
+		perLevel[n.Level]++
+	}
+	return maxLevel, perLevel
+}
+
 // String renders nodes in preorder with their typed out-edges.
 func (g *Graph) String() string {
 	var sb strings.Builder

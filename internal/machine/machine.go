@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"givetake/internal/interp"
+	"givetake/internal/obs"
 )
 
 // Model holds the machine parameters, all in abstract work units (one
@@ -65,6 +66,15 @@ func (r Result) String() string {
 			r.Retrans, r.Retries, r.Degraded)
 	}
 	return s
+}
+
+// Stats converts the breakdown into an obs.CostStats report row.
+func (r Result) Stats() obs.CostStats {
+	return obs.CostStats{
+		Compute: r.Compute, Wait: r.Wait, Retrans: r.Retrans, Total: r.Total,
+		Messages: r.Messages, Volume: r.Volume,
+		Retries: r.Retries, Degraded: r.Degraded,
+	}
 }
 
 // transfer is the α–β cost of moving elems elements once.

@@ -144,6 +144,26 @@ type FaultReport struct {
 	StallSteps int64
 }
 
+// Counters flattens the report into named counters for an obs.Report
+// fault section; zero-valued counters are omitted.
+func (r FaultReport) Counters() map[string]int64 {
+	all := map[string]int64{
+		"transfers": r.Transfers, "drops": r.Drops, "dups": r.Dups,
+		"delays": r.Delays, "reorders": r.Reorders,
+		"retransmits": r.Retransmits, "suppressed": r.Suppressed,
+		"recovered": r.Recovered, "degraded": r.Degraded,
+		"escalated": r.Escalated, "stall_steps": r.StallSteps,
+		"unmatched_sends": r.UnmatchedSends, "unmatched_recvs": r.UnmatchedRecvs,
+	}
+	out := map[string]int64{}
+	for k, v := range all {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
 // Accounted reports whether every injected fault is explained by a
 // recovery action: each dropped transmission either triggered a
 // retransmission or ended in degradation/escalation, every duplicated

@@ -1,0 +1,58 @@
+// Package obs is the zero-dependency observability layer of the
+// GIVE-N-TAKE pipeline: phase spans with wall-time and allocation
+// deltas, named counters, solver work counters, and runtime metrics,
+// exportable as a Chrome trace-event JSON profile (loadable in
+// Perfetto / chrome://tracing) or aggregated into a structured Report.
+//
+// The design follows two rules:
+//
+//  1. The default is off. Every instrumentation point in the pipeline
+//     holds a Collector interface value that is nil unless the caller
+//     asked for observability; the nil-tolerant package helpers (Begin,
+//     Count) make a disabled pipeline pay exactly one pointer compare
+//     per phase boundary and nothing per statement, equation, or
+//     message, so cost-model results are bit-identical with and
+//     without the layer compiled in.
+//
+//  2. Events are coarse. Spans wrap pipeline phases (parse, CFG build,
+//     interval reduction, each dataflow solve, execution), never inner
+//     loops; per-equation and per-message detail is carried by cheap
+//     integer counters that the solver and interpreter maintain anyway
+//     and hand over wholesale (SolverCounters, RuntimeStats).
+package obs
+
+// Collector is the sink for pipeline observability events.
+// Implementations must tolerate being called from a single goroutine
+// at a time; the pipeline is sequential. A nil Collector is the
+// universal "off switch": call sites go through Begin/Count below,
+// which short-circuit on nil.
+type Collector interface {
+	// BeginSpan opens a named span and returns the function that closes
+	// it. Key/value pairs (alternating string key, any value) annotate
+	// the span; more pairs may be passed to the returned EndFunc, which
+	// is useful for results only known at the end (node counts, steps).
+	BeginSpan(name string, kv ...any) EndFunc
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+}
+
+// EndFunc closes a span, attaching any final key/value pairs.
+type EndFunc func(kv ...any)
+
+// endNop is the shared no-op EndFunc returned for nil collectors.
+var endNop EndFunc = func(...any) {}
+
+// Begin opens a span on c, tolerating a nil collector.
+func Begin(c Collector, name string, kv ...any) EndFunc {
+	if c == nil {
+		return endNop
+	}
+	return c.BeginSpan(name, kv...)
+}
+
+// Count adds delta to counter name on c, tolerating a nil collector.
+func Count(c Collector, name string, delta int64) {
+	if c != nil {
+		c.Count(name, delta)
+	}
+}

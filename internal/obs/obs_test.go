@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// A nil collector must be safe to drive: Begin returns a callable
+// no-op and Count does nothing, so instrumented code needs no guards.
+func TestNilCollector(t *testing.T) {
+	end := Begin(nil, "phase", "k", 1)
+	end("done", true)
+	end() // double end on the no-op too
+	Count(nil, "counter", 5)
+}
+
+func TestRecorderSpans(t *testing.T) {
+	r := NewRecorder(Config{})
+	outer := Begin(r, "outer", "size", 3)
+	inner := Begin(r, "inner")
+	inner("items", 7)
+	outer()
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "outer" || spans[0].Depth != 0 {
+		t.Errorf("outer span: %+v", spans[0])
+	}
+	if spans[1].Name != "inner" || spans[1].Depth != 1 {
+		t.Errorf("inner span should nest at depth 1: %+v", spans[1])
+	}
+	for _, sp := range spans {
+		if sp.Dur < 0 {
+			t.Errorf("span %s still open", sp.Name)
+		}
+	}
+	// begin args and end args are both kept, in order
+	if len(spans[0].Args) != 1 || spans[0].Args[0].Key != "size" {
+		t.Errorf("outer args: %+v", spans[0].Args)
+	}
+	if len(spans[1].Args) != 1 || spans[1].Args[0].Key != "items" {
+		t.Errorf("inner args: %+v", spans[1].Args)
+	}
+}
+
+func TestRecorderDoubleEndIsNoOp(t *testing.T) {
+	r := NewRecorder(Config{})
+	end := Begin(r, "phase")
+	end("first", 1)
+	end("second", 2)
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if len(spans[0].Args) != 1 || spans[0].Args[0].Key != "first" {
+		t.Errorf("second End must not attach args: %+v", spans[0].Args)
+	}
+}
+
+func TestRecorderCounters(t *testing.T) {
+	r := NewRecorder(Config{})
+	Count(r, "msgs", 3)
+	Count(r, "msgs", 2)
+	Count(r, "vol", 10)
+	c := r.Counters()
+	if c["msgs"] != 5 || c["vol"] != 10 {
+		t.Errorf("counters = %v", c)
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	r := NewRecorder(Config{})
+	end := Begin(r, "solve", "nodes", 17)
+	end()
+	Count(r, "eq-evals", 340)
+	open := Begin(r, "never-closed")
+	_ = open
+
+	var sb strings.Builder
+	if err := r.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &tf); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, sb.String())
+	}
+	var haveSolve, haveCounter bool
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Name == "solve" && ev.Ph == "X":
+			haveSolve = true
+			if ev.Dur <= 0 {
+				t.Error("solve span needs positive dur")
+			}
+			if ev.Args["nodes"] != float64(17) {
+				t.Errorf("solve args = %v", ev.Args)
+			}
+		case ev.Name == "eq-evals" && ev.Ph == "C":
+			haveCounter = true
+			if ev.Args["value"] != float64(340) {
+				t.Errorf("counter args = %v", ev.Args)
+			}
+		case ev.Name == "never-closed":
+			t.Error("open spans must not be emitted")
+		}
+	}
+	if !haveSolve || !haveCounter {
+		t.Errorf("trace missing events (solve=%v counter=%v):\n%s", haveSolve, haveCounter, sb.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 4, 515, -7} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	// 0 and -7 land in bucket 0; 1 in bucket 1; 2,3 in bucket 2; 4 in
+	// bucket 3; 515 in bucket 10 ([512,1024))
+	want := []int64{2, 1, 2, 1, 0, 0, 0, 0, 0, 0, 1}
+	if len(h.Counts) != len(want) {
+		t.Fatalf("buckets = %v", h.Counts)
+	}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d (%s) = %d, want %d", i, BucketLabel(i), h.Counts[i], w)
+		}
+	}
+	if BucketLabel(10) != "[512,1024)" {
+		t.Errorf("BucketLabel(10) = %s", BucketLabel(10))
+	}
+}
+
+func TestOnePass(t *testing.T) {
+	good := SolverCounters{Problem: "READ", EvalsPerEqMin: 1, EvalsPerEqMax: 1}
+	if err := good.OnePass(); err != nil {
+		t.Error(err)
+	}
+	bad := SolverCounters{Problem: "READ", EvalsPerEqMin: 1, EvalsPerEqMax: 2}
+	if err := bad.OnePass(); err == nil {
+		t.Error("re-evaluation must fail OnePass")
+	}
+}
+
+func TestReportWriteText(t *testing.T) {
+	rep := &Report{
+		Program: "fig1.f",
+		Phases:  []PhaseStats{{Name: "parse", WallNS: 1500}},
+		Solver: []SolverCounters{{
+			Problem: "READ", Nodes: 17, Universe: 1, Words: 1, MaxLevel: 2,
+			EquationEvals: 340, EvalsPerEqMin: 1, EvalsPerEqMax: 1,
+			SetOps: 835, WordOps: 835,
+		}},
+		Runtime: []RuntimeStats{{
+			Name: "gnt-split", Steps: 100, Messages: 1, Volume: 256,
+			SplitPairs: 1, OverlapTotal: 515, OverlapMin: 515, OverlapMax: 515,
+			Cost: map[string]CostStats{"high-latency": {Total: 1770}},
+		}},
+		Counters: map[string]int64{"x": 1},
+	}
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig1.f", "parse", "1.5µs", "READ", "340", "gnt-split", "515", "high-latency", "x = 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+	if (RuntimeStats{SplitPairs: 0}).MeanOverlap() != -1 {
+		t.Error("MeanOverlap without pairs should be -1")
+	}
+}

@@ -1,6 +1,7 @@
 package pre
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"givetake/internal/bitset"
@@ -211,6 +212,18 @@ type Metrics struct {
 
 func (m Metrics) String() string {
 	return fmt.Sprintf("inserts=%d weighted=%.0f replaced=%d", m.Inserts, m.Weighted, m.Replaced)
+}
+
+// MarshalJSON gives Metrics a stable wire shape (snake_case keys) so
+// reports and benchmark artifacts can embed it without depending on Go
+// field names.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Inserts  int     `json:"inserts"`
+		Weighted float64 `json:"weighted"`
+		Replaced int     `json:"replaced"`
+	}
+	return json.Marshal(wire{Inserts: m.Inserts, Weighted: m.Weighted, Replaced: m.Replaced})
 }
 
 // Measure summarizes a placement over the CFG.

@@ -1,0 +1,28 @@
+package pre
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The JSON shape of Metrics is a wire contract: reports and benchmark
+// artifacts embed it, so key names must not drift with Go field names.
+func TestMetricsMarshalJSON(t *testing.T) {
+	m := Metrics{Inserts: 3, Weighted: 120, Replaced: 7}
+	got, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"inserts":3,"weighted":120,"replaced":7}`
+	if string(got) != want {
+		t.Errorf("Metrics JSON = %s, want %s", got, want)
+	}
+
+	var back map[string]float64
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["inserts"] != 3 || back["weighted"] != 120 || back["replaced"] != 7 {
+		t.Errorf("round-trip mismatch: %v", back)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"givetake/internal/check"
+)
+
+// The check-mode goldens pin the full text and JSON renderings on the
+// paper's figures, plus the failure rendering on a deliberately
+// corrupted placement (-mutate). Regenerate with:
+//
+//	go run ./cmd/gnt -mode check [-json] [-mutate 3] testdata/<fig>.f
+//
+// from the repo root, then copy into cmd/gnt/testdata.
+
+func TestCheckModeGolden(t *testing.T) {
+	for _, tc := range []struct {
+		file, gold string
+	}{
+		{"../../testdata/fig1.f", "fig1_check.golden"},
+		{"../../testdata/fig3.f", "fig3_check.golden"},
+		{"../../testdata/fig16.f", "fig16_check.golden"},
+	} {
+		out := runCLI(t, []string{"-mode", "check", tc.file}, "")
+		if want := golden(t, tc.gold); out != want {
+			t.Errorf("-mode check %s drifted from golden:\n--- got ---\n%s--- want ---\n%s", tc.file, out, want)
+		}
+	}
+}
+
+func TestCheckModeJSONGolden(t *testing.T) {
+	out := runCLI(t, []string{"-mode", "check", "-json", fig1File}, "")
+	if want := golden(t, "fig1_check_json.golden"); out != want {
+		t.Errorf("-mode check -json drifted from golden:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+	var rep struct {
+		Ok          bool                   `json:"ok"`
+		Errors      int                    `json:"errors"`
+		Diagnostics []check.Diagnostic     `json:"diagnostics"`
+		Stats       map[string]check.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("check -json is not valid JSON: %v\n%s", err, out)
+	}
+	if !rep.Ok || rep.Errors != 0 {
+		t.Fatalf("fig1 must verify cleanly: %+v", rep)
+	}
+	for _, name := range []string{"READ", "WRITE"} {
+		if rep.Stats[name].Contexts == 0 {
+			t.Errorf("stats for %s problem missing: %+v", name, rep.Stats)
+		}
+	}
+}
+
+// TestCheckModeCorrupted pins the failure path: a seeded corruption
+// makes the verifier exit non-zero and name the violated criteria.
+func TestCheckModeCorrupted(t *testing.T) {
+	out, _, err := runCLIErr(t, []string{"-mode", "check", "-mutate", "3", fig1File}, "")
+	if err == nil {
+		t.Fatal("corrupted placement must fail verification")
+	}
+	if want := golden(t, "fig1_mutate3_check.golden"); out != want {
+		t.Errorf("corrupted check drifted from golden:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+	for _, want := range []string{"mutated READ:", "mutated WRITE:", "GNT0", "C1", "FAILED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("corrupted check output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The -mutate flag only makes sense for -mode check, and a clean
+// program must keep exit status 0 across text and JSON renderings.
+func TestCheckModeExitStatus(t *testing.T) {
+	if _, _, err := runCLIErr(t, []string{"-mode", "check", fig1File}, ""); err != nil {
+		t.Fatalf("clean program must pass -mode check: %v", err)
+	}
+	if _, _, err := runCLIErr(t, []string{"-mode", "check", "-json", "-mutate", "3", fig1File}, ""); err == nil {
+		t.Fatal("corrupted placement must fail in -json rendering too")
+	}
+}

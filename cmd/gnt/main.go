@@ -16,10 +16,12 @@
 //	-mode prefetch  the program annotated with PREFETCH issue/demand pairs
 //	-mode run       execute naive vs atomic vs split under the cost model
 //	-mode stats     full observability report (phases, solver, runtime)
+//	-mode check     statically verify C1–C3/O1 and lint the placement
 //	-atomic         emit atomic READ/WRITE instead of Send/Recv halves
 //	-explain node   why communication is placed at that node (or "all")
 //	-trace out.json write a Chrome trace-event profile of the pipeline
-//	-json           render -mode stats as JSON instead of text
+//	-json           render -mode stats/check as JSON instead of text
+//	-mutate seed    corrupt one placement bit before -mode check (0: off)
 //	-n int          problem size for -mode run (default 256)
 //	-seed int       branch-condition seed for -mode run
 //	-faults         inject seeded transport faults in -mode run
@@ -36,11 +38,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"text/tabwriter"
 
 	"givetake/internal/cfg"
+	"givetake/internal/check"
+	"givetake/internal/check/mutate"
 	"givetake/internal/comm"
 	"givetake/internal/interp"
 	"givetake/internal/ir"
@@ -66,11 +71,12 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("gnt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	mode := fs.String("mode", "comm", "comm | graph | dump | pre | prefetch | run | stats")
+	mode := fs.String("mode", "comm", "comm | graph | dump | pre | prefetch | run | stats | check")
 	atomic := fs.Bool("atomic", false, "emit atomic READ/WRITE instead of Send/Recv halves")
 	explain := fs.String("explain", "", "explain the placement at a node (preorder number, or \"all\")")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON profile to this file")
-	jsonOut := fs.Bool("json", false, "render -mode stats as JSON")
+	jsonOut := fs.Bool("json", false, "render -mode stats or -mode check as JSON")
+	mutateSeed := fs.Int64("mutate", 0, "seed one placement corruption before -mode check (0: off)")
 	n := fs.Int64("n", 256, "problem size for -mode run")
 	seed := fs.Int64("seed", 1, "branch-condition seed for -mode run")
 	faults := fs.Bool("faults", false, "inject seeded transport faults in -mode run")
@@ -121,7 +127,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 
-	if err := dispatch(*mode, *atomic, *explain, *jsonOut, prog, cfgRun, rec, col, program, stdout); err != nil {
+	if err := dispatch(*mode, *atomic, *explain, *jsonOut, *mutateSeed, prog, cfgRun, rec, col, program, stdout); err != nil {
 		return err
 	}
 	if *tracePath != "" {
@@ -140,7 +146,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 // dispatch runs one mode; separated from run so the trace file is
 // written after every mode, including the early-returning ones.
-func dispatch(mode string, atomic bool, explain string, jsonOut bool,
+func dispatch(mode string, atomic bool, explain string, jsonOut bool, mutateSeed int64,
 	prog *ir.Program, cfgRun interp.Config, rec *obs.Recorder, col obs.Collector,
 	program string, stdout io.Writer) error {
 	if explain != "" {
@@ -201,6 +207,8 @@ func dispatch(mode string, atomic bool, explain string, jsonOut bool,
 		return runMachine(prog, cfgRun, stdout)
 	case "stats":
 		return runStats(prog, cfgRun, rec, col, jsonOut, program, stdout)
+	case "check":
+		return runCheck(prog, col, jsonOut, mutateSeed, program, stdout)
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
@@ -360,6 +368,64 @@ func runStats(prog *ir.Program, cfgRun interp.Config, rec *obs.Recorder, col obs
 		return err
 	}
 	return report.WriteText(stdout)
+}
+
+// runCheck statically re-verifies the solved placement (C1–C3/O1 over
+// all paths) and runs the communication linter, printing one line per
+// diagnostic plus a summary — or, with -json, the structured result.
+// A non-zero -mutate seed first corrupts one RES bit per problem
+// (internal/check/mutate), turning the mode into a self-test: the
+// verifier is expected to fail and name the violated criterion.
+func runCheck(prog *ir.Program, col obs.Collector, jsonOut bool, mutateSeed int64,
+	program string, stdout io.Writer) error {
+	a, err := comm.AnalyzeObs(prog, col)
+	if err != nil {
+		return err
+	}
+	var mutations []string
+	if mutateSeed != 0 {
+		r := rand.New(rand.NewSource(mutateSeed))
+		for _, p := range a.Problems() {
+			if m, _, ok := mutate.Apply(r, p.Sol, p.Universe); ok {
+				mutations = append(mutations, p.Name+": "+m.String())
+			}
+		}
+	}
+	res := a.CheckPlacement(col)
+	if jsonOut {
+		out := struct {
+			Program     string                 `json:"program"`
+			Mutations   []string               `json:"mutations,omitempty"`
+			Ok          bool                   `json:"ok"`
+			Errors      int                    `json:"errors"`
+			Warnings    int                    `json:"warnings"`
+			Diagnostics []check.Diagnostic     `json:"diagnostics"`
+			Stats       map[string]check.Stats `json:"stats"`
+		}{program, mutations, res.Ok(), len(res.Errors()), len(res.Warnings()),
+			res.Diagnostics, res.Stats}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", b)
+	} else {
+		for _, m := range mutations {
+			fmt.Fprintf(stdout, "mutated %s\n", m)
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(stdout, d)
+		}
+		verdict := "ok"
+		if !res.Ok() {
+			verdict = "FAILED"
+		}
+		fmt.Fprintf(stdout, "%s: %s (%d errors, %d warnings)\n",
+			program, verdict, len(res.Errors()), len(res.Warnings()))
+	}
+	if !res.Ok() {
+		return fmt.Errorf("placement verification failed: %d error(s)", len(res.Errors()))
+	}
+	return nil
 }
 
 // preMetricsJSON renders the three PRE analyses' metrics, or nil when

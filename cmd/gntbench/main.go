@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"givetake/internal/check"
 	"givetake/internal/comm"
 	"givetake/internal/obs"
 
@@ -28,7 +29,9 @@ import (
 )
 
 // Schema identifies the artifact layout; bump on incompatible change.
-const Schema = "gnt-bench/v1"
+// v2 added the static-verifier pass: a "check" phase span (wall time)
+// plus the verifier work profile and finding counts per program.
+const Schema = "gnt-bench/v2"
 
 type artifact struct {
 	Schema string  `json:"schema"`
@@ -104,8 +107,10 @@ func collect(dirs []string) ([]string, error) {
 }
 
 // bench runs the analysis pipeline once on a program, recording phase
-// spans and solver counters. One-pass violations fail the run: the
-// artifact must never archive counters that break the O(E) claim.
+// spans and solver counters, then statically re-verifies the placement.
+// One-pass violations and verification errors fail the run: the
+// artifact must never archive counters that break the O(E) claim, nor a
+// corpus the verifier rejects.
 func bench(file string) (*obs.Report, error) {
 	src, err := os.ReadFile(file)
 	if err != nil {
@@ -120,6 +125,10 @@ func bench(file string) (*obs.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	res := a.CheckPlacement(rec)
+	if !res.Ok() {
+		return nil, fmt.Errorf("placement verification failed: %s", res.Errors()[0])
+	}
 	rep := &obs.Report{
 		Program: filepath.ToSlash(file),
 		Solver:  a.Counters(),
@@ -130,5 +139,14 @@ func bench(file string) (*obs.Report, error) {
 			return nil, err
 		}
 	}
+	checkExtra, err := json.Marshal(struct {
+		Errors   int                    `json:"errors"`
+		Warnings int                    `json:"warnings"`
+		Stats    map[string]check.Stats `json:"stats"`
+	}{len(res.Errors()), len(res.Warnings()), res.Stats})
+	if err != nil {
+		return nil, err
+	}
+	rep.Extra = map[string]json.RawMessage{"check": checkExtra}
 	return rep, nil
 }

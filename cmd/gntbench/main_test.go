@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"givetake/internal/check"
 )
 
 func TestBenchArtifact(t *testing.T) {
@@ -35,6 +37,35 @@ func TestBenchArtifact(t *testing.T) {
 			if err := sc.OnePass(); err != nil {
 				t.Errorf("%s: %v", e.File, err)
 			}
+		}
+		// v2: every program records verifier wall time and work profile
+		hasCheck := false
+		for _, p := range e.Report.Phases {
+			if p.Name == "check" {
+				hasCheck = true
+			}
+		}
+		if !hasCheck {
+			t.Errorf("%s: report missing the check phase span", e.File)
+		}
+		raw, ok := e.Report.Extra["check"]
+		if !ok {
+			t.Errorf("%s: report missing the check extra section", e.File)
+			continue
+		}
+		var chk struct {
+			Errors int                    `json:"errors"`
+			Stats  map[string]check.Stats `json:"stats"`
+		}
+		if err := json.Unmarshal(raw, &chk); err != nil {
+			t.Errorf("%s: check extra not valid JSON: %v", e.File, err)
+			continue
+		}
+		if chk.Errors != 0 {
+			t.Errorf("%s: archived corpus has %d verification errors", e.File, chk.Errors)
+		}
+		if chk.Stats["READ"].Contexts == 0 {
+			t.Errorf("%s: check stats empty: %+v", e.File, chk.Stats)
 		}
 	}
 }

@@ -22,6 +22,7 @@
 package givetake
 
 import (
+	"givetake/internal/check"
 	"givetake/internal/comm"
 	"givetake/internal/core"
 	"givetake/internal/frontend"
@@ -122,6 +123,29 @@ func Verify(s *Solution, init *Init, cfg VerifyConfig) []core.Violation {
 
 // VerifyConfig bounds the path enumeration of Verify.
 type VerifyConfig = core.VerifyConfig
+
+// Static verification ---------------------------------------------------
+
+// CheckProblem is one solved placement problem for StaticVerify: the
+// graph it was solved on, the initial variables, and the solution.
+type CheckProblem = check.Problem
+
+// CheckResult aggregates the findings of a static placement check,
+// split into errors (criterion violations) and warnings (lints).
+type CheckResult = check.Result
+
+// CheckDiagnostic is one structured finding: a stable GNT0xx/GNT1xx
+// code, the violated criterion, the offending node with its source
+// anchor, and a concrete path witness.
+type CheckDiagnostic = check.Diagnostic
+
+// StaticVerify proves the paper's criteria (C1 balance, C2 safety,
+// C3 sufficiency, O1 no re-production) over *all* execution paths of
+// one solved problem by a fixed-point dataflow analysis that shares no
+// equation code with the solver. Where Verify samples bounded paths,
+// StaticVerify's pass is a proof. The combined pipeline hook — both
+// problems plus the communication linter — is CommGen.CheckPlacement.
+func StaticVerify(p *CheckProblem) *CheckResult { return check.Verify(p) }
 
 // Execution and cost modeling ------------------------------------------
 

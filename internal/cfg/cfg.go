@@ -91,6 +91,42 @@ type Block struct {
 // generation time (paper §5.4).
 func (b *Block) Synthetic() bool { return b.Kind == KPad }
 
+// SourcePos returns the source position the block maps back to: the
+// statement for KStmt, the DO statement for KHeader, the IF condition
+// for KBranch. Structural blocks (entry/exit/join/anchor/pad) carry no
+// position of their own and return the zero Pos.
+func (b *Block) SourcePos() ir.Pos {
+	switch b.Kind {
+	case KStmt:
+		if b.Stmt != nil {
+			return b.Stmt.Pos()
+		}
+	case KHeader:
+		if b.Loop != nil {
+			return b.Loop.Pos()
+		}
+	case KBranch:
+		if b.Cond != nil {
+			return b.Cond.Pos()
+		}
+	}
+	return ir.Pos{}
+}
+
+// Anchor renders the canonical source anchor for a block, shared by
+// explain output and check diagnostics so both print identical
+// references: "line:col" when the block maps back to source, otherwise
+// the structural description (e.g. "b7:join").
+func Anchor(b *Block) string {
+	if b == nil {
+		return "-"
+	}
+	if p := b.SourcePos(); p != (ir.Pos{}) {
+		return p.String()
+	}
+	return b.String()
+}
+
 // String renders a compact description, e.g. "b3:stmt y(a(i)) = ...".
 func (b *Block) String() string {
 	desc := ""

@@ -1,0 +1,702 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"givetake/internal/bitset"
+	"givetake/internal/cfg"
+	"givetake/internal/interval"
+)
+
+// The static verifier proves the path predicates of core.Verify by a
+// fixed point instead of path enumeration. Its dataflow contexts are
+// pairs (node, frame set): the frame set F holds the headers of loops
+// the path is currently iterating, mirroring the loop-frame stack of
+// the bounded checker. Headers therefore split into three context
+// flavors, exactly the three arms of core.Verify's step():
+//
+//   - construct entry from outside (fromOutside): RES_in and the node's
+//     TAKE/GIVE/STEAL fire, a frame is pushed for the iterate branch,
+//     and the zero-trip branch taints the path (C2 is vacuous beyond a
+//     skipped loop) while adding GIVE(h)−STEAL(h) as the loop's
+//     vacuously-satisfied summary;
+//   - construct entry via the cycle edge with no active frame (a jump
+//     into the loop, §5.3, reversed graphs): same branching but no
+//     events and no zero-trip taint;
+//   - iteration (cycle edge, frame active): no events; the framework's
+//     O1 availability knowledge resets to the loop-entry snapshot.
+//
+// Per item the lattice is the path-state set {unproduced, open-region,
+// produced}; the analysis keeps its meet-over-paths summary as parallel
+// must (∩) and may (∪) bit vectors, which collapse to ⊥-conflict
+// exactly where the two disagree. Each criterion reads the side that
+// makes a firing diagnostic a theorem about some real path:
+//
+//	openMust/openMay  C1   region open on all / some incoming path
+//	availMust         C3   item available on every path (gen/kill per
+//	                       item ⇒ the fixed point equals meet-over-paths,
+//	                       so TAKE∖availMust is exact, no false alarms)
+//	availO1Must       O1   availability as the framework can know it;
+//	                       cycle edges intersect with the loop-entry
+//	                       snapshot (meet over the entering contexts),
+//	                       an under-approximation, so GNT007 only fires
+//	                       when every path re-produces
+//	fromMay           O1   which nodes may have produced each item last
+//	                       (production at the node that made the item
+//	                       available is exempt, like core.Verify's
+//	                       availFrom)
+//	pendingU          C2   produced-but-unconsumed on some path that has
+//	                       not crossed a zero-trip loop; the untainted
+//	                       bit records whether such a path reaches here
+//
+// The fixed point only computes states; diagnostics are emitted by a
+// second, deterministic pass over the stabilized contexts, and each
+// error is backed by a path witness from witness.go.
+
+type ctxKey struct {
+	node    int
+	fkey    string
+	outside bool
+}
+
+// frames is the set of active loop-frame headers, as sorted node IDs.
+type frames []int
+
+func (f frames) key() string {
+	if len(f) == 0 {
+		return ""
+	}
+	parts := make([]string, len(f))
+	for i, id := range f {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ".")
+}
+
+func (f frames) has(id int) bool {
+	for _, x := range f {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (f frames) with(id int) frames {
+	if f.has(id) {
+		return f
+	}
+	out := make(frames, 0, len(f)+1)
+	for _, x := range f {
+		if x < id {
+			out = append(out, x)
+		}
+	}
+	out = append(out, id)
+	for _, x := range f {
+		if x > id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (f frames) without(id int) frames {
+	out := make(frames, 0, len(f))
+	for _, x := range f {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+type context struct {
+	key     ctxKey
+	node    *interval.Node
+	f       frames
+	outside bool
+	in      *state
+	queued  bool
+}
+
+// state is the dataflow value at a context entry.
+type state struct {
+	openMust, openMay *bitset.Set
+	availMust         [2]*bitset.Set
+	availO1Must       [2]*bitset.Set
+	pendingU          [2]*bitset.Set
+	// fromMay[m][i] is the set of nodes that may have produced item i
+	// last (index nn = "external": a GIVE or a skipped-loop summary).
+	fromMay   [2][]*bitset.Set
+	untainted bool
+}
+
+type snapKey struct {
+	node int
+	fkey string
+}
+
+type verifier struct {
+	p     *Problem
+	g     *interval.Graph
+	u     int // universe size
+	nn    int // node count
+	ext   int // fromMay index meaning "made available externally"
+	ctxs  map[ctxKey]*context
+	order []*context
+	wl    []*context
+	snaps map[snapKey]*[2]*bitset.Set
+	diags []Diagnostic
+	dedup map[string]bool
+	stats Stats
+
+	// reporting switches transfer from propagation to diagnosis; cur is
+	// the context being replayed, for witness anchoring.
+	reporting bool
+	cur       *context
+}
+
+func newVerifier(p *Problem) *verifier {
+	return &verifier{
+		p:     p,
+		g:     p.Graph,
+		u:     p.Universe,
+		nn:    len(p.Graph.Nodes),
+		ext:   len(p.Graph.Nodes),
+		ctxs:  map[ctxKey]*context{},
+		snaps: map[snapKey]*[2]*bitset.Set{},
+		dedup: map[string]bool{},
+	}
+}
+
+func (v *verifier) newState() *state {
+	st := &state{
+		openMust:  bitset.New(v.u),
+		openMay:   bitset.New(v.u),
+		untainted: false,
+	}
+	for m := 0; m < 2; m++ {
+		st.availMust[m] = bitset.New(v.u)
+		st.availO1Must[m] = bitset.New(v.u)
+		st.pendingU[m] = bitset.New(v.u)
+		st.fromMay[m] = make([]*bitset.Set, v.u)
+		for i := 0; i < v.u; i++ {
+			st.fromMay[m][i] = bitset.New(v.nn + 1)
+		}
+	}
+	return st
+}
+
+func (st *state) clone() *state {
+	c := &state{
+		openMust:  st.openMust.Clone(),
+		openMay:   st.openMay.Clone(),
+		untainted: st.untainted,
+	}
+	for m := 0; m < 2; m++ {
+		c.availMust[m] = st.availMust[m].Clone()
+		c.availO1Must[m] = st.availO1Must[m].Clone()
+		c.pendingU[m] = st.pendingU[m].Clone()
+		c.fromMay[m] = make([]*bitset.Set, len(st.fromMay[m]))
+		for i, s := range st.fromMay[m] {
+			c.fromMay[m][i] = s.Clone()
+		}
+	}
+	return c
+}
+
+// meet folds o into st (st is a context IN, o an incoming edge value)
+// and reports whether st changed. Must sets intersect, may sets union.
+func (st *state) meet(o *state, v *verifier) bool {
+	changed := false
+	changed = meetInter(st.openMust, o.openMust, v) || changed
+	changed = meetUnion(st.openMay, o.openMay, v) || changed
+	for m := 0; m < 2; m++ {
+		changed = meetInter(st.availMust[m], o.availMust[m], v) || changed
+		changed = meetInter(st.availO1Must[m], o.availO1Must[m], v) || changed
+		changed = meetUnion(st.pendingU[m], o.pendingU[m], v) || changed
+		for i := range st.fromMay[m] {
+			changed = meetUnion(st.fromMay[m][i], o.fromMay[m][i], v) || changed
+		}
+	}
+	if o.untainted && !st.untainted {
+		st.untainted = true
+		changed = true
+	}
+	return changed
+}
+
+func meetInter(dst, src *bitset.Set, v *verifier) bool {
+	v.stats.SetOps += 2
+	old := dst.Clone()
+	dst.IntersectWith(src)
+	return !dst.Equal(old)
+}
+
+func meetUnion(dst, src *bitset.Set, v *verifier) bool {
+	v.stats.SetOps += 2
+	if dst.ContainsAll(src) {
+		return false
+	}
+	dst.UnionWith(src)
+	return true
+}
+
+// entryNode mirrors core.Verify: the node with no CEFJ predecessors in
+// this graph's orientation.
+func (v *verifier) entryNode() *interval.Node {
+	for _, n := range v.g.Preorder {
+		if n.CountPreds(interval.CEFJ) == 0 {
+			return n
+		}
+	}
+	return nil
+}
+
+func (v *verifier) enqueue(c *context) {
+	if !c.queued {
+		c.queued = true
+		v.wl = append(v.wl, c)
+	}
+}
+
+// contribute merges an edge value into the target context, creating and
+// scheduling it on first contact. A no-op during the reporting pass.
+func (v *verifier) contribute(k ctxKey, f frames, st *state) {
+	if v.reporting {
+		return
+	}
+	c := v.ctxs[k]
+	if c == nil {
+		c = &context{key: k, node: v.g.Nodes[k.node], f: f, outside: k.outside, in: st}
+		v.ctxs[k] = c
+		v.order = append(v.order, c)
+		v.enqueue(c)
+		return
+	}
+	if c.in.meet(st, v) {
+		v.enqueue(c)
+	}
+}
+
+// recordSnap meets the post-event availO1 state of a construct entry
+// into the loop-entry snapshot of body frame set fkey, re-scheduling
+// the iteration context when the snapshot shrinks.
+func (v *verifier) recordSnap(node int, fkey string, st *state) {
+	if v.reporting {
+		return
+	}
+	k := snapKey{node, fkey}
+	s := v.snaps[k]
+	if s == nil {
+		s = &[2]*bitset.Set{st.availO1Must[0].Clone(), st.availO1Must[1].Clone()}
+		v.snaps[k] = s
+		return
+	}
+	changed := false
+	for m := 0; m < 2; m++ {
+		changed = meetInter(s[m], st.availO1Must[m], v) || changed
+	}
+	if changed {
+		if c := v.ctxs[ctxKey{node, fkey, false}]; c != nil {
+			v.enqueue(c)
+		}
+	}
+}
+
+func (v *verifier) run() {
+	entry := v.entryNode()
+	if entry == nil {
+		return
+	}
+	st := v.newState()
+	st.untainted = true
+	v.contribute(ctxKey{entry.ID, "", true}, nil, st)
+	for len(v.wl) > 0 {
+		c := v.wl[len(v.wl)-1]
+		v.wl = v.wl[:len(v.wl)-1]
+		c.queued = false
+		v.stats.Iterations++
+		v.transfer(c)
+	}
+	v.stats.Contexts = len(v.ctxs)
+
+	// Deterministic reporting pass over the stabilized states.
+	v.reporting = true
+	ord := append([]*context(nil), v.order...)
+	sort.Slice(ord, func(i, j int) bool {
+		a, b := ord[i], ord[j]
+		if a.node.Pre != b.node.Pre {
+			return a.node.Pre < b.node.Pre
+		}
+		if a.key.fkey != b.key.fkey {
+			return a.key.fkey < b.key.fkey
+		}
+		return a.outside && !b.outside
+	})
+	for _, c := range ord {
+		v.cur = c
+		v.transfer(c)
+	}
+}
+
+func entryChild(h *interval.Node) *interval.Node {
+	for _, e := range h.Out {
+		if e.Type == interval.Entry {
+			return e.To
+		}
+	}
+	return nil
+}
+
+// popJump drops the frames of every loop the jump target lies outside
+// of (the stack-pop of core.Verify, expressed on the frame set).
+func (v *verifier) popJump(f frames, target *interval.Node) frames {
+	out := make(frames, 0, len(f))
+	for _, id := range f {
+		h := v.g.Nodes[id]
+		if target == h || interval.InInterval(target, h) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// transfer evaluates one context: replays the node's events on a copy
+// of the IN state and feeds the per-edge results to the successor
+// contexts (or, in the reporting pass, emits diagnostics at the check
+// points instead).
+func (v *verifier) transfer(c *context) {
+	n := c.node
+	st := c.in.clone()
+
+	// Events fire on every visit of a plain node but only on construct
+	// entry from outside for headers (core.Verify step()).
+	if !n.IsHeader || c.outside {
+		v.production(n, st, resInOf(v.p.Sol.Eager.ResIn, n.ID), resInOf(v.p.Sol.Lazy.ResIn, n.ID), phaseIn)
+		v.takeEv(n, st)
+		v.giveEv(n, st)
+		v.stealEv(n, st)
+	}
+
+	if n.IsHeader {
+		if c.outside || !c.f.has(n.ID) {
+			// Construct entry: branch over zero vs. at-least-one trip.
+			bodyF := c.f.with(n.ID)
+			v.recordSnap(n.ID, bodyF.key(), st)
+
+			zst := st.clone()
+			v.skippedGive(n, zst)
+			if c.outside {
+				zst.taint()
+			}
+			v.exitEdges(n, c.f, zst)
+
+			if child := entryChild(n); child != nil {
+				v.contribute(ctxKey{child.ID, bodyF.key(), true}, bodyF, st.clone())
+			} else {
+				// Degenerate loop without a body: fall through to the
+				// exits with the frame popped again.
+				v.exitEdges(n, c.f, st.clone())
+			}
+			return
+		}
+		// Iteration via the cycle edge: availability knowledge resets to
+		// what held at loop entry, minus the body's may-steal summary —
+		// Eq. 11 inherits GIVEN(h) − STEAL(h) into every iteration, so a
+		// steal on any body path blinds the framework on all of them.
+		if s := v.snaps[snapKey{n.ID, c.f.key()}]; s != nil {
+			for m := 0; m < 2; m++ {
+				st.availO1Must[m].IntersectWith(s[m])
+				st.availO1Must[m].SubtractWith(v.p.Sol.Steal[n.ID])
+				v.stats.SetOps += 2
+			}
+		} else {
+			for m := 0; m < 2; m++ {
+				st.availO1Must[m].Clear()
+			}
+		}
+		if child := entryChild(n); child != nil {
+			v.contribute(ctxKey{child.ID, c.f.key(), true}, c.f, st.clone())
+		}
+		v.exitEdges(n, c.f.without(n.ID), st.clone())
+		return
+	}
+
+	// Plain node: RES_out fires on the way out, then each C/F/J edge.
+	fired := false
+	exited := false
+	for _, e := range n.Out {
+		switch e.Type {
+		case interval.Cycle, interval.Forward, interval.Jump:
+		default:
+			continue
+		}
+		if !fired {
+			v.production(n, st, resInOf(v.p.Sol.Eager.ResOut, n.ID), resInOf(v.p.Sol.Lazy.ResOut, n.ID), phaseOut)
+			fired = true
+		}
+		exited = true
+		switch e.Type {
+		case interval.Cycle:
+			v.contribute(ctxKey{e.To.ID, c.f.key(), false}, c.f, st.clone())
+		case interval.Forward:
+			v.contribute(ctxKey{e.To.ID, c.f.key(), true}, c.f, st.clone())
+		case interval.Jump:
+			tf := v.popJump(c.f, e.To)
+			v.contribute(ctxKey{e.To.ID, tf.key(), true}, tf, jumpCut(st.clone()))
+		}
+	}
+	if !exited {
+		v.terminal(n, st)
+	}
+}
+
+// jumpCut forgets O1 availability knowledge across a JUMP edge. Jumps
+// leave (or, reversed, enter) an interval sideways, and the one-pass
+// interval evaluation re-establishes state at their landing pads
+// conservatively (§5.3, NoHoist); production after a jump therefore
+// never counts as re-production. This only under-approximates the
+// framework's knowledge further, so GNT007 stays a theorem.
+func jumpCut(st *state) *state {
+	st.availO1Must[0].Clear()
+	st.availO1Must[1].Clear()
+	return st
+}
+
+// exitEdges leaves a loop construct: RES_out of the header fires once,
+// then every FORWARD/JUMP exit receives the state under frame set f.
+// With no exit edge the construct ends the program.
+func (v *verifier) exitEdges(h *interval.Node, f frames, st *state) {
+	fired := false
+	exited := false
+	for _, e := range h.Out {
+		if e.Type != interval.Forward && e.Type != interval.Jump {
+			continue
+		}
+		if !fired {
+			v.production(h, st, resInOf(v.p.Sol.Eager.ResOut, h.ID), resInOf(v.p.Sol.Lazy.ResOut, h.ID), phaseOut)
+			fired = true
+		}
+		exited = true
+		tf := f
+		sc := st.clone()
+		if e.Type == interval.Jump {
+			tf = v.popJump(f, e.To)
+			jumpCut(sc)
+		}
+		v.contribute(ctxKey{e.To.ID, tf.key(), true}, tf, sc)
+	}
+	if !exited {
+		v.terminal(h, st)
+	}
+}
+
+func (st *state) taint() {
+	st.untainted = false
+	st.pendingU[0].Clear()
+	st.pendingU[1].Clear()
+}
+
+func resInOf(res []*bitset.Set, id int) *bitset.Set {
+	if res == nil || id >= len(res) {
+		return nil
+	}
+	return res[id]
+}
+
+func initSetAt(sets []*bitset.Set, id int) *bitset.Set {
+	if sets == nil || id >= len(sets) {
+		return nil
+	}
+	return sets[id]
+}
+
+type phase int
+
+const (
+	phaseIn phase = iota
+	phaseOut
+)
+
+// production replays a RES event (RES_in or RES_out) of both modes:
+// the O1 check and availability bookkeeping per mode, then the C1
+// balance protocol (EAGER opens, LAZY closes). Order matches
+// core.Verify's produce/produceExit.
+func (v *verifier) production(n *interval.Node, st *state, eager, lazy *bitset.Set, ph phase) {
+	res := [2]*bitset.Set{eager, lazy}
+	for m := 0; m < 2; m++ {
+		r := res[m]
+		if r == nil || r.IsEmpty() {
+			continue
+		}
+		mm := m
+		r.ForEach(func(i int) {
+			if v.reporting && st.availO1Must[mm].Has(i) && !st.fromMay[mm][i].Has(n.ID) {
+				v.emit(CodeReproduction, "O1", mm, i, n, "item produced while still available", fpO1, ph)
+			}
+			st.availMust[mm].Add(i)
+			st.availO1Must[mm].Add(i)
+			st.fromMay[mm][i].Clear()
+			st.fromMay[mm][i].Add(n.ID)
+			if st.untainted {
+				st.pendingU[mm].Add(i)
+			}
+		})
+		v.stats.SetOps += 3
+	}
+	if eager != nil {
+		eager.ForEach(func(i int) {
+			if v.reporting && st.openMay.Has(i) {
+				v.emit(CodeStartedTwice, "C1", 0, i, n, "production started twice without a stop", fpOpen, ph)
+			}
+			st.openMust.Add(i)
+			st.openMay.Add(i)
+		})
+	}
+	if lazy != nil {
+		lazy.ForEach(func(i int) {
+			if v.reporting && !st.openMust.Has(i) {
+				v.emit(CodeStopWithoutStart, "C1", 1, i, n, "production stopped without a start", fpClose, ph)
+			}
+			st.openMust.Remove(i)
+			st.openMay.Remove(i)
+		})
+	}
+}
+
+func (v *verifier) takeEv(n *interval.Node, st *state) {
+	t := initSetAt(v.p.Init.Take, n.ID)
+	if t == nil || t.IsEmpty() {
+		return
+	}
+	t.ForEach(func(i int) {
+		for m := 0; m < 2; m++ {
+			if v.reporting && !st.availMust[m].Has(i) {
+				v.emit(CodeConsumerStarved, "C3", m, i, n, "consumer without available production", fpTake, phaseIn)
+			}
+			st.pendingU[m].Remove(i)
+		}
+	})
+	v.stats.SetOps += 2
+}
+
+func (v *verifier) giveEv(n *interval.Node, st *state) {
+	gv := initSetAt(v.p.Init.Give, n.ID)
+	if gv == nil || gv.IsEmpty() {
+		return
+	}
+	for m := 0; m < 2; m++ {
+		st.availMust[m].UnionWith(gv)
+		st.availO1Must[m].UnionWith(gv)
+		mm := m
+		gv.ForEach(func(i int) {
+			st.fromMay[mm][i].Clear()
+			st.fromMay[mm][i].Add(v.ext)
+		})
+		v.stats.SetOps += 3
+	}
+}
+
+func (v *verifier) stealEv(n *interval.Node, st *state) {
+	sl := initSetAt(v.p.Init.Steal, n.ID)
+	if sl == nil || sl.IsEmpty() {
+		return
+	}
+	for m := 0; m < 2; m++ {
+		if v.reporting {
+			mm := m
+			bitset.Intersect(st.pendingU[m], sl).ForEach(func(i int) {
+				v.emit(CodeStolenPending, "C2", mm, i, n, "production stolen before being consumed", fpSteal, phaseIn)
+			})
+		}
+		st.availMust[m].SubtractWith(sl)
+		st.availO1Must[m].SubtractWith(sl)
+		st.pendingU[m].SubtractWith(sl)
+		mm := m
+		sl.ForEach(func(i int) { st.fromMay[mm][i].Clear() })
+		v.stats.SetOps += 4
+	}
+}
+
+// skippedGive adds the summary of a loop executed zero times: its
+// surviving free production GIVE(h)−STEAL(h) is vacuously satisfied
+// (paper §2) and counts as externally provided.
+func (v *verifier) skippedGive(h *interval.Node, st *state) {
+	sk := bitset.Subtract(v.p.Sol.Give[h.ID], v.p.Sol.Steal[h.ID])
+	if sk.IsEmpty() {
+		return
+	}
+	for m := 0; m < 2; m++ {
+		st.availMust[m].UnionWith(sk)
+		st.availO1Must[m].UnionWith(sk)
+		mm := m
+		sk.ForEach(func(i int) {
+			st.fromMay[mm][i].Clear()
+			st.fromMay[mm][i].Add(v.ext)
+		})
+		v.stats.SetOps += 3
+	}
+}
+
+// terminal checks a program-exit state: no region may still be open
+// (C1) and nothing may be pending on an all-trips path (C2).
+func (v *verifier) terminal(n *interval.Node, st *state) {
+	if !v.reporting {
+		return
+	}
+	st.openMay.ForEach(func(i int) {
+		v.emit(CodeOpenAtExit, "C1", -1, i, n, "production still open at program exit", fpEnd, phaseIn)
+	})
+	for m := 0; m < 2; m++ {
+		mm := m
+		st.pendingU[m].ForEach(func(i int) {
+			v.emit(CodeNeverConsumed, "C2", mm, i, n, "production never consumed", fpEnd, phaseIn)
+		})
+	}
+}
+
+func modeName(m int) string {
+	switch m {
+	case 0:
+		return "eager"
+	case 1:
+		return "lazy"
+	}
+	return ""
+}
+
+// emit records one error diagnostic (deduplicated per code, node, item
+// and mode across contexts) with its source anchor and path witness.
+func (v *verifier) emit(code, criterion string, m, item int, n *interval.Node, detail string, fp firePoint, ph phase) {
+	key := fmt.Sprintf("%s|%d|%d|%d", code, n.ID, item, m)
+	if v.dedup[key] || len(v.diags) >= 200 {
+		return
+	}
+	v.dedup[key] = true
+	d := Diagnostic{
+		Code:      code,
+		Severity:  Error,
+		Problem:   v.p.Name,
+		Criterion: criterion,
+		Item:      item,
+		ItemName:  v.p.itemName(item),
+		Node:      n.ID,
+		Pre:       n.Pre + 1,
+		Pos:       cfg.Anchor(n.Block),
+		Detail:    detail,
+	}
+	if m >= 0 {
+		d.Mode = modeName(m)
+	}
+	mode := m
+	if mode < 0 {
+		mode = 0
+	}
+	d.Path = v.witness(witnessGoal{ctx: v.cur, fp: fp, ph: ph, item: item, mode: mode, node: n.ID, code: code})
+	v.diags = append(v.diags, d)
+}

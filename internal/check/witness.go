@@ -1,0 +1,294 @@
+package check
+
+import (
+	"givetake/internal/bitset"
+	"givetake/internal/interval"
+)
+
+// Witness reconstruction: every error diagnostic names a program point
+// and a per-item precondition that the fixed point proved reachable
+// ("region already open here", "item not available here"). To show the
+// user a concrete offending execution, a breadth-first search runs over
+// pairs (context, item state) — the same context graph the dataflow
+// walked, but tracking the exact automaton of the single diagnosed item
+// and mode, which is tiny: open/avail/pending/availO1/untainted bits
+// plus the last producer. The first path whose replay satisfies the
+// precondition at the diagnostic's fire point becomes the witness.
+
+// firePoint identifies the check location inside a context's event
+// replay where a diagnostic fired.
+type firePoint int
+
+const (
+	fpO1    firePoint = iota // O1 check at a RES event of the mode
+	fpOpen                   // C1 check at an EAGER RES event
+	fpClose                  // C1 check at a LAZY RES event
+	fpTake                   // C3 check at a TAKE event
+	fpSteal                  // C2 check at a STEAL event
+	fpEnd                    // C1/C2 checks at a program-exit state
+)
+
+// witnessGoal pins down where a diagnostic fired and for which item.
+type witnessGoal struct {
+	ctx  *context
+	fp   firePoint
+	ph   phase
+	item int
+	mode int
+	node int
+	code string
+}
+
+const (
+	fromNone = -2 // item never produced on this path
+	fromExt  = -1 // item provided externally (GIVE / skipped loop)
+)
+
+// itemState is the exact single-item automaton state along one path.
+type itemState struct {
+	open, avail, pending, availO1, untainted bool
+	from                                     int
+}
+
+type succItem struct {
+	key ctxKey
+	s   itemState
+}
+
+type visKey struct {
+	k ctxKey
+	s itemState
+}
+
+func (v *verifier) goalPred(g witnessGoal, s itemState) bool {
+	switch g.fp {
+	case fpO1:
+		return s.availO1 && s.from != g.node
+	case fpOpen:
+		return s.open
+	case fpClose:
+		return !s.open
+	case fpTake:
+		return !s.avail
+	case fpSteal:
+		return s.pending
+	case fpEnd:
+		if g.code == CodeOpenAtExit {
+			return s.open
+		}
+		return s.pending
+	}
+	return false
+}
+
+// witness searches for a path from program entry to the goal's fire
+// point along which the goal predicate holds, returned as 1-based
+// preorder numbers. nil when no witness is found within the budget
+// (the diagnostic stands regardless; must-style checks are backed by
+// every path).
+func (v *verifier) witness(g witnessGoal) []int {
+	entry := v.entryNode()
+	if entry == nil || g.ctx == nil {
+		return nil
+	}
+	type qent struct {
+		key    ctxKey
+		s      itemState
+		parent int
+	}
+	start := qent{key: ctxKey{entry.ID, "", true}, s: itemState{untainted: true, from: fromNone}, parent: -1}
+	queue := []qent{start}
+	visited := map[visKey]bool{{start.key, start.s}: true}
+	for head := 0; head < len(queue) && len(queue) < 20000; head++ {
+		cur := queue[head]
+		c := v.ctxs[cur.key]
+		if c == nil {
+			continue
+		}
+		hit, succs := v.replay(c, cur.s, g)
+		if hit {
+			var rev []int
+			for i := head; i >= 0; i = queue[i].parent {
+				rev = append(rev, v.g.Nodes[queue[i].key.node].Pre+1)
+			}
+			path := make([]int, 0, len(rev))
+			for i := len(rev) - 1; i >= 0; i-- {
+				path = append(path, rev[i])
+			}
+			return path
+		}
+		for _, sc := range succs {
+			vk := visKey{sc.key, sc.s}
+			if !visited[vk] {
+				visited[vk] = true
+				queue = append(queue, qent{key: sc.key, s: sc.s, parent: head})
+			}
+		}
+	}
+	return nil
+}
+
+// wit bundles the goal with a hit flag so replay helpers share one
+// check closure.
+type wit struct {
+	v   *verifier
+	g   witnessGoal
+	c   *context
+	hit bool
+}
+
+func (w *wit) check(fp firePoint, ph phase, s itemState) {
+	if w.hit || w.c.key != w.g.ctx.key || fp != w.g.fp || ph != w.g.ph {
+		return
+	}
+	if w.v.goalPred(w.g, s) {
+		w.hit = true
+	}
+}
+
+// replay mirrors verifier.transfer for a single item: it applies the
+// context's events to the item automaton, tests the goal at every check
+// point, and returns the successor (context, state) pairs.
+func (v *verifier) replay(c *context, s itemState, g witnessGoal) (bool, []succItem) {
+	n := c.node
+	w := &wit{v: v, g: g, c: c}
+
+	if !n.IsHeader || c.outside {
+		s = v.replayProduction(n, s, phaseIn, w)
+		if t := initSetAt(v.p.Init.Take, n.ID); t != nil && t.Has(g.item) {
+			w.check(fpTake, phaseIn, s)
+			s.pending = false
+		}
+		if gv := initSetAt(v.p.Init.Give, n.ID); gv != nil && gv.Has(g.item) {
+			s.avail, s.availO1, s.from = true, true, fromExt
+		}
+		if sl := initSetAt(v.p.Init.Steal, n.ID); sl != nil && sl.Has(g.item) {
+			w.check(fpSteal, phaseIn, s)
+			s.avail, s.availO1, s.pending, s.from = false, false, false, fromNone
+		}
+	}
+
+	var succs []succItem
+	if n.IsHeader {
+		if c.outside || !c.f.has(n.ID) {
+			bodyF := c.f.with(n.ID)
+			z := s
+			if sk := bitset.Subtract(v.p.Sol.Give[n.ID], v.p.Sol.Steal[n.ID]); sk.Has(g.item) {
+				z.avail, z.availO1, z.from = true, true, fromExt
+			}
+			if c.outside {
+				z.untainted, z.pending = false, false
+			}
+			succs = append(succs, v.replayExit(n, c.f, z, w)...)
+			if child := entryChild(n); child != nil {
+				succs = append(succs, succItem{ctxKey{child.ID, bodyF.key(), true}, s})
+			} else {
+				succs = append(succs, v.replayExit(n, c.f, s, w)...)
+			}
+			return w.hit, succs
+		}
+		// Iteration: O1 knowledge resets to the loop-entry snapshot minus
+		// the body's may-steal summary (Eq. 11 inherits GIVEN − STEAL).
+		if sn := v.snaps[snapKey{n.ID, c.f.key()}]; sn == nil || !sn[g.mode].Has(g.item) {
+			s.availO1 = false
+		}
+		if sl := v.p.Sol.Steal[n.ID]; sl != nil && sl.Has(g.item) {
+			s.availO1 = false
+		}
+		if child := entryChild(n); child != nil {
+			succs = append(succs, succItem{ctxKey{child.ID, c.f.key(), true}, s})
+		}
+		succs = append(succs, v.replayExit(n, c.f.without(n.ID), s, w)...)
+		return w.hit, succs
+	}
+
+	fired := false
+	exited := false
+	var sOut itemState
+	for _, e := range n.Out {
+		switch e.Type {
+		case interval.Cycle, interval.Forward, interval.Jump:
+		default:
+			continue
+		}
+		if !fired {
+			sOut = v.replayProduction(n, s, phaseOut, w)
+			fired = true
+		}
+		exited = true
+		switch e.Type {
+		case interval.Cycle:
+			succs = append(succs, succItem{ctxKey{e.To.ID, c.f.key(), false}, sOut})
+		case interval.Forward:
+			succs = append(succs, succItem{ctxKey{e.To.ID, c.f.key(), true}, sOut})
+		case interval.Jump:
+			tf := v.popJump(c.f, e.To)
+			sj := sOut
+			sj.availO1 = false // mirror the verifier's jumpCut
+			succs = append(succs, succItem{ctxKey{e.To.ID, tf.key(), true}, sj})
+		}
+	}
+	if !exited {
+		w.check(fpEnd, phaseIn, s)
+	}
+	return w.hit, succs
+}
+
+func (v *verifier) replayExit(h *interval.Node, f frames, s itemState, w *wit) []succItem {
+	fired := false
+	exited := false
+	var out []succItem
+	var sOut itemState
+	for _, e := range h.Out {
+		if e.Type != interval.Forward && e.Type != interval.Jump {
+			continue
+		}
+		if !fired {
+			sOut = v.replayProduction(h, s, phaseOut, w)
+			fired = true
+		}
+		exited = true
+		tf := f
+		se := sOut
+		if e.Type == interval.Jump {
+			tf = v.popJump(f, e.To)
+			se.availO1 = false // mirror the verifier's jumpCut
+		}
+		out = append(out, succItem{ctxKey{e.To.ID, tf.key(), true}, se})
+	}
+	if !exited {
+		w.check(fpEnd, phaseIn, s)
+	}
+	return out
+}
+
+func (v *verifier) replayProduction(n *interval.Node, s itemState, ph phase, w *wit) itemState {
+	var eager, lazy *bitset.Set
+	if ph == phaseIn {
+		eager, lazy = resInOf(v.p.Sol.Eager.ResIn, n.ID), resInOf(v.p.Sol.Lazy.ResIn, n.ID)
+	} else {
+		eager, lazy = resInOf(v.p.Sol.Eager.ResOut, n.ID), resInOf(v.p.Sol.Lazy.ResOut, n.ID)
+	}
+	item := w.g.item
+	modeRes := eager
+	if w.g.mode == 1 {
+		modeRes = lazy
+	}
+	if modeRes != nil && modeRes.Has(item) {
+		w.check(fpO1, ph, s)
+		s.avail, s.availO1 = true, true
+		s.from = n.ID
+		if s.untainted {
+			s.pending = true
+		}
+	}
+	if eager != nil && eager.Has(item) {
+		w.check(fpOpen, ph, s)
+		s.open = true
+	}
+	if lazy != nil && lazy.Has(item) {
+		w.check(fpClose, ph, s)
+		s.open = false
+	}
+	return s
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"givetake/internal/bitset"
+	"givetake/internal/cfg"
 	"givetake/internal/core"
 	"givetake/internal/interval"
 )
@@ -86,7 +87,9 @@ func (a *Analysis) ExplainNode(preNum int) (string, error) {
 	if n.IsHeader {
 		kind = ", loop header"
 	}
-	fmt.Fprintf(&sb, "node %d (level %d%s):\n", preNum, n.Level, kind)
+	// the anchor is the same formatter internal/check's diagnostics use,
+	// so explanations and GNT0xx findings point at identical positions
+	fmt.Fprintf(&sb, "node %d @ %s (level %d%s):\n", preNum, cfg.Anchor(n.Block), n.Level, kind)
 	wrote := false
 	for _, entry := range []bool{true, false} {
 		boundary := "exit"

@@ -33,7 +33,7 @@ enddo
 		t.Fatal("no node explains a placement, but the program communicates")
 	}
 	all := strings.Join(placed, "")
-	for _, want := range []string{"READ_Send", "READ_Recv", "Eq.14", "needed:", "missing:", "x(a(1:n))"} {
+	for _, want := range []string{"READ_Send", "READ_Recv", "Eq.14", "needed:", "missing:", "x(a(1:n))", " @ "} {
 		if !strings.Contains(all, want) {
 			t.Errorf("explanations missing %q:\n%s", want, all)
 		}

@@ -1,0 +1,8 @@
+distributed x(1000)
+
+do i = 1, n
+    x(i) = 5
+    if test(i) goto 9
+enddo
+9 continue
+... = x(3)

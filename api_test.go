@@ -99,7 +99,7 @@ func TestAPISolverDirect(t *testing.T) {
 			init.AddTake(n, 1, bitset.Of(1, 0))
 		}
 	}
-	s := gt.Solve(g, 1, init)
+	s := gt.MustSolve(g, 1, init)
 	eagerSites, lazySites := 0, 0
 	for _, n := range g.Nodes {
 		eagerSites += s.Place(gt.Eager).ResIn[n.ID].Count()
@@ -132,7 +132,7 @@ func TestAPIAfterProblem(t *testing.T) {
 			init.AddTake(n, 1, bitset.Of(1, 0))
 		}
 	}
-	s := gt.Solve(rev, 1, init)
+	s := gt.MustSolve(rev, 1, init)
 	if vs := gt.Verify(s, init, gt.VerifyConfig{CheckSafety: true}); len(vs) > 0 {
 		t.Fatalf("verify: %v", vs)
 	}

@@ -192,7 +192,7 @@ func BenchmarkCriteriaScenarios(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, in := range instances {
-			s := core.Solve(in.g, 1, in.init)
+			s := core.MustSolve(in.g, 1, in.init)
 			violations += len(core.Verify(s, in.init, core.VerifyConfig{CheckSafety: true}))
 		}
 	}
@@ -244,7 +244,7 @@ enddo
 		if err != nil {
 			b.Fatal(err)
 		}
-		s := core.Solve(rev, 1, init)
+		s := core.MustSolve(rev, 1, init)
 		for _, v := range core.Verify(s, init, core.VerifyConfig{}) {
 			if v.Criterion != "O1" {
 				bad++
@@ -286,7 +286,7 @@ func BenchmarkScaling(b *testing.B) {
 			var evals int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s := core.Solve(g, universe, init)
+				s := core.MustSolve(g, universe, init)
 				evals = s.EquationEvals
 			}
 			b.ReportMetric(float64(len(g.Nodes)), "nodes")
@@ -389,7 +389,7 @@ enddo
 		blind := core.NewInit(len(cg.Graph.Nodes))
 		blind.Take = cg.ReadInit.Take
 		blind.Steal = cg.ReadInit.Steal
-		withoutGive = count(core.Solve(cg.Graph, cg.Universe.Size(), blind))
+		withoutGive = count(core.MustSolve(cg.Graph, cg.Universe.Size(), blind))
 	}
 	b.ReportMetric(float64(withGive), "reads-with-give")
 	b.ReportMetric(float64(withoutGive), "reads-without-give")
@@ -506,7 +506,7 @@ func BenchmarkShiftAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		before, after = 0, 0
 		for _, in := range instances {
-			s := core.Solve(in.g, 3, in.init)
+			s := core.MustSolve(in.g, 3, in.init)
 			before += s.SyntheticResidue(core.Eager) + s.SyntheticResidue(core.Lazy)
 			s.ShiftOffSynthetic()
 			after += s.SyntheticResidue(core.Eager) + s.SyntheticResidue(core.Lazy)

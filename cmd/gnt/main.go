@@ -17,6 +17,8 @@
 //	-mode run       execute naive vs atomic vs split under the cost model
 //	-mode stats     full observability report (phases, solver, runtime)
 //	-mode check     statically verify C1–C3/O1 and lint the placement
+//	-mode serve     run the hardened HTTP analysis service (see -addr)
+//	-addr addr      listen address for -mode serve (default :8075)
 //	-atomic         emit atomic READ/WRITE instead of Send/Recv halves
 //	-explain node   why communication is placed at that node (or "all")
 //	-trace out.json write a Chrome trace-event profile of the pipeline
@@ -34,13 +36,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"text/tabwriter"
 
 	"givetake/internal/cfg"
@@ -54,6 +61,7 @@ import (
 	"givetake/internal/netsim"
 	"givetake/internal/obs"
 	"givetake/internal/pre"
+	"givetake/internal/serve"
 
 	gt "givetake"
 )
@@ -71,7 +79,8 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("gnt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	mode := fs.String("mode", "comm", "comm | graph | dump | pre | prefetch | run | stats | check")
+	mode := fs.String("mode", "comm", "comm | graph | dump | pre | prefetch | run | stats | check | serve")
+	addr := fs.String("addr", ":8075", "listen address for -mode serve")
 	atomic := fs.Bool("atomic", false, "emit atomic READ/WRITE instead of Send/Recv halves")
 	explain := fs.String("explain", "", "explain the placement at a node (preorder number, or \"all\")")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON profile to this file")
@@ -88,6 +97,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	retries := fs.Int("retries", netsim.DefaultMaxRetries, "retransmission budget per message (0: degrade on first loss)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *mode == "serve" {
+		return runServe(*addr, stderr)
 	}
 
 	// a recorder exists only when something will consume it; everywhere
@@ -142,6 +155,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return f.Close()
 	}
 	return nil
+}
+
+// runServe starts the hardened analysis service (internal/serve) and
+// blocks until SIGINT/SIGTERM, then shuts down gracefully, draining
+// in-flight requests.
+func runServe(addr string, stderr io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s := serve.New(serve.Config{Addr: addr})
+	fmt.Fprintf(stderr, "gnt: serving on %s (POST /analyze, GET /healthz)\n", addr)
+	err := s.ListenAndServe(ctx)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
 }
 
 // dispatch runs one mode; separated from run so the trace file is

@@ -6,12 +6,17 @@
 //
 // Usage:
 //
-//	gntbench [-out BENCH_obs.json] dir [dir...]
+//	gntbench [-out BENCH_obs.json] [-timeout 30s] dir [dir...]
 //
-// Each directory is walked recursively for *.f files.
+// Each directory is walked recursively for *.f files. Every program
+// gets a wall-clock budget (-timeout, default 30s); a program that
+// exceeds it — or fails to parse, analyze, or verify — is recorded in
+// the artifact as a per-entry error instead of hanging or aborting the
+// whole corpus, and the run exits nonzero so CI still notices.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +25,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"givetake/internal/check"
 	"givetake/internal/comm"
@@ -31,7 +37,12 @@ import (
 // Schema identifies the artifact layout; bump on incompatible change.
 // v2 added the static-verifier pass: a "check" phase span (wall time)
 // plus the verifier work profile and finding counts per program.
-const Schema = "gnt-bench/v2"
+// v3 added the per-program wall-clock guard: entries may carry an
+// "error" field (with no report) instead of failing the whole run.
+const Schema = "gnt-bench/v3"
+
+// DefaultTimeout is the per-program wall-clock budget.
+const DefaultTimeout = 30 * time.Second
 
 type artifact struct {
 	Schema string  `json:"schema"`
@@ -40,23 +51,27 @@ type artifact struct {
 
 type entry struct {
 	File   string      `json:"file"`
-	Report *obs.Report `json:"report"`
+	Report *obs.Report `json:"report,omitempty"`
+	// Error records why this program produced no report (timeout,
+	// parse/analysis failure, verification failure).
+	Error string `json:"error,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_obs.json", "output file (\"-\" for stdout)")
+	timeout := flag.Duration("timeout", DefaultTimeout, "per-program wall-clock budget")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "gntbench: no corpus directories given")
 		os.Exit(2)
 	}
-	if err := run(flag.Args(), *out); err != nil {
+	if err := run(flag.Args(), *out, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "gntbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dirs []string, out string) error {
+func run(dirs []string, out string, timeout time.Duration) error {
 	files, err := collect(dirs)
 	if err != nil {
 		return err
@@ -64,13 +79,21 @@ func run(dirs []string, out string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("no .f files under %v", dirs)
 	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
 	art := artifact{Schema: Schema}
+	failed := 0
 	for _, file := range files {
-		rep, err := bench(file)
+		rep, err := benchGuarded(file, timeout)
+		e := entry{File: filepath.ToSlash(file), Report: rep}
 		if err != nil {
-			return fmt.Errorf("%s: %w", file, err)
+			e.Error = err.Error()
+			e.Report = nil
+			failed++
+			fmt.Fprintf(os.Stderr, "gntbench: %s: %v\n", file, err)
 		}
-		art.Corpus = append(art.Corpus, entry{File: filepath.ToSlash(file), Report: rep})
+		art.Corpus = append(art.Corpus, e)
 	}
 	b, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -78,10 +101,44 @@ func run(dirs []string, out string) error {
 	}
 	b = append(b, '\n')
 	if out == "-" {
-		_, err = os.Stdout.Write(b)
+		if _, err = os.Stdout.Write(b); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, b, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(out, b, 0o644)
+	if failed > 0 {
+		return fmt.Errorf("%d/%d corpus entries failed (errors recorded in artifact)",
+			failed, len(files))
+	}
+	return nil
+}
+
+// benchGuarded runs one program under a wall-clock budget. The pipeline
+// is cooperatively cancellable, so a timeout both returns promptly here
+// and actually stops the work; the select is the backstop for any
+// future non-cooperative stage.
+func benchGuarded(file string, timeout time.Duration) (*obs.Report, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	type result struct {
+		rep *obs.Report
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rep, err := bench(ctx, file)
+		ch <- result{rep, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("timeout after %v: %w", timeout, r.err)
+		}
+		return r.rep, r.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("timeout after %v (stage did not cancel)", timeout)
+	}
 }
 
 // collect walks the directories for .f programs, sorted for stable
@@ -111,7 +168,7 @@ func collect(dirs []string) ([]string, error) {
 // One-pass violations and verification errors fail the run: the
 // artifact must never archive counters that break the O(E) claim, nor a
 // corpus the verifier rejects.
-func bench(file string) (*obs.Report, error) {
+func bench(ctx context.Context, file string) (*obs.Report, error) {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return nil, err
@@ -121,11 +178,14 @@ func bench(file string) (*obs.Report, error) {
 		return nil, err
 	}
 	rec := obs.NewRecorder(obs.Config{Mem: true})
-	a, err := comm.AnalyzeObs(prog, rec)
+	a, err := comm.AnalyzeCtx(ctx, prog, rec)
 	if err != nil {
 		return nil, err
 	}
-	res := a.CheckPlacement(rec)
+	res, err := a.CheckPlacementCtx(ctx, rec)
+	if err != nil {
+		return nil, err
+	}
 	if !res.Ok() {
 		return nil, fmt.Errorf("placement verification failed: %s", res.Errors()[0])
 	}

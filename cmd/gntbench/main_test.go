@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"givetake/internal/check"
@@ -11,7 +12,7 @@ import (
 
 func TestBenchArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run([]string{"../../testdata"}, out); err != nil {
+	if err := run([]string{"../../testdata"}, out, DefaultTimeout); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -29,6 +30,10 @@ func TestBenchArtifact(t *testing.T) {
 		t.Fatalf("corpus has %d entries, want the full testdata set", len(art.Corpus))
 	}
 	for _, e := range art.Corpus {
+		if e.Error != "" {
+			t.Errorf("%s: corpus entry errored: %s", e.File, e.Error)
+			continue
+		}
 		if e.Report == nil || len(e.Report.Solver) == 0 || len(e.Report.Phases) == 0 {
 			t.Errorf("%s: incomplete report", e.File)
 			continue
@@ -71,7 +76,43 @@ func TestBenchArtifact(t *testing.T) {
 }
 
 func TestBenchNoCorpus(t *testing.T) {
-	if err := run([]string{t.TempDir()}, filepath.Join(t.TempDir(), "x.json")); err == nil {
+	if err := run([]string{t.TempDir()}, filepath.Join(t.TempDir(), "x.json"), DefaultTimeout); err == nil {
 		t.Fatal("empty corpus should error")
+	}
+}
+
+// TestBenchTimeoutRecorded: a program exceeding the per-entry budget is
+// recorded as an entry error in the artifact; the run exits nonzero but
+// still writes every other entry.
+func TestBenchTimeoutRecorded(t *testing.T) {
+	dir := t.TempDir()
+	// heavy enough that 1ns always expires before the pipeline finishes
+	src := "distributed x(1000)\nreal y(1000)\ndo i = 1, n\n y(i) = x(i)\nenddo\n"
+	if err := os.WriteFile(filepath.Join(dir, "slow.f"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{dir}, out, 1)
+	if err == nil {
+		t.Fatal("timed-out corpus should make run return an error")
+	}
+	b, err2 := os.ReadFile(out)
+	if err2 != nil {
+		t.Fatalf("artifact must still be written: %v", err2)
+	}
+	var art artifact
+	if err := json.Unmarshal(b, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Corpus) != 1 {
+		t.Fatalf("corpus entries = %d, want 1", len(art.Corpus))
+	}
+	e := art.Corpus[0]
+	if e.Error == "" || e.Report != nil {
+		t.Fatalf("timed-out entry must record the error and no report: %+v", e)
+	}
+	if !strings.Contains(e.Error, "timeout") &&
+		!strings.Contains(e.Error, "deadline") && !strings.Contains(e.Error, "canceled") {
+		t.Fatalf("entry error %q does not mention the timeout", e.Error)
 	}
 }

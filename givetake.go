@@ -22,6 +22,8 @@
 package givetake
 
 import (
+	"context"
+
 	"givetake/internal/check"
 	"givetake/internal/comm"
 	"givetake/internal/core"
@@ -32,6 +34,7 @@ import (
 	"givetake/internal/machine"
 	"givetake/internal/netsim"
 	"givetake/internal/obs"
+	"givetake/internal/serve"
 )
 
 // Program is a parsed mini-Fortran compilation unit.
@@ -106,9 +109,37 @@ func BuildGraph(p *Program) (*Graph, error) {
 func ReverseGraph(g *Graph) (*Graph, error) { return interval.Reverse(g) }
 
 // Solve runs the GiveNTake algorithm (paper Fig. 15): one evaluation of
-// each equation per node, O(E) bit-vector steps.
-func Solve(g *Graph, universe int, init *Init) *Solution {
+// each equation per node, O(E) bit-vector steps. A broken one-pass
+// invariant (a solver bug or corrupted input) surfaces as an error
+// satisfying errors.Is(err, ErrInvariant) instead of a panic.
+func Solve(g *Graph, universe int, init *Init) (*Solution, error) {
 	return core.Solve(g, universe, init)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the solver polls ctx
+// at interval-node granularity and abandons the solve with ctx.Err()
+// once it is canceled.
+func SolveCtx(ctx context.Context, g *Graph, universe int, init *Init) (*Solution, error) {
+	return core.SolveCtx(ctx, g, universe, init)
+}
+
+// MustSolve is Solve for callers that treat failure as a programming
+// error; it panics on any solver error.
+func MustSolve(g *Graph, universe int, init *Init) *Solution {
+	return core.MustSolve(g, universe, init)
+}
+
+// ErrInvariant is the sentinel matched by errors.Is for solver errors
+// caused by a broken one-pass O(E) evaluation invariant.
+var ErrInvariant = core.ErrInvariant
+
+// AtomicSolution returns the degenerate always-correct fallback
+// placement for a graph: every item is produced exactly at its
+// consumption point (trivially balanced, never fails). The returned
+// Init is the runtime contract the placement verifies against. This is
+// the bottom rung of the serve degradation ladder.
+func AtomicSolution(g *Graph, universe int, init *Init) (*Solution, *Init) {
+	return core.Atomic(g, universe, init)
 }
 
 // NewInit returns empty initial variables for a graph of n nodes.
@@ -158,6 +189,17 @@ type Trace = interp.Trace
 // Execute runs a (possibly annotated) program and records its
 // communication trace.
 func Execute(p *Program, cfg ExecConfig) (*Trace, error) { return interp.Run(p, cfg) }
+
+// ExecuteCtx is Execute with cooperative cancellation; on step-budget
+// exhaustion or cancellation it returns the partial trace alongside the
+// error.
+func ExecuteCtx(ctx context.Context, p *Program, cfg ExecConfig) (*Trace, error) {
+	return interp.RunCtx(ctx, p, cfg)
+}
+
+// ErrStepLimit is the sentinel matched by errors.Is when an execution
+// exhausts its step budget.
+var ErrStepLimit = interp.ErrStepLimit
 
 // CostModel is an α–β latency/bandwidth model with overlap credit.
 type CostModel = machine.Model
@@ -222,3 +264,49 @@ func NewRecorder(cfg ObsConfig) *Recorder { return obs.NewRecorder(cfg) }
 func GenerateCommObs(p *Program, col Collector) (*CommGen, error) {
 	return comm.AnalyzeObs(p, col)
 }
+
+// GenerateCommCtx is GenerateCommObs with cooperative cancellation:
+// the pipeline checks ctx between stages and the solver polls it at
+// interval-node granularity.
+func GenerateCommCtx(ctx context.Context, p *Program, col Collector) (*CommGen, error) {
+	return comm.AnalyzeCtx(ctx, p, col)
+}
+
+// CommOpts tunes placement analysis beyond the defaults; see comm.Opts.
+type CommOpts = comm.Opts
+
+// GenerateCommOpts is GenerateCommCtx with analysis options — e.g.
+// SuppressHoist, the paper's STEAL_init conservative mode (§4.1), which
+// pins production inside every loop (rung 2 of the degradation ladder).
+func GenerateCommOpts(ctx context.Context, p *Program, col Collector, opt CommOpts) (*CommGen, error) {
+	return comm.AnalyzeOpts(ctx, p, col, opt)
+}
+
+// AtomicFallbackComm builds the rung-3 fallback analysis: atomic
+// production at each consumption point, no dataflow solving. It cannot
+// hit solver invariants and is the never-fails floor of the serve
+// degradation ladder.
+func AtomicFallbackComm(p *Program, col Collector) (*CommGen, error) {
+	return comm.AtomicFallback(p, col)
+}
+
+// Analysis service --------------------------------------------------------
+
+// ServeConfig parameterizes the hardened analysis service: listen
+// address, admission control (bounded in-flight pool with a queue
+// timeout), per-request deadlines, and execution/source budgets.
+type ServeConfig = serve.Config
+
+// ServeRequest is one analysis job posted to the service.
+type ServeRequest = serve.Request
+
+// ServeResponse is the structured result: the winning degradation
+// rung, the full ladder of attempts, the annotated program, and the
+// verification summary.
+type ServeResponse = serve.Response
+
+// NewServer builds the analysis service; mount its Handler or call
+// ListenAndServe. Every request descends the degradation ladder —
+// full placement, no-hoist retry, atomic floor — behind per-request
+// panic isolation, so the process survives any input.
+func NewServer(cfg ServeConfig) *serve.Server { return serve.New(cfg) }

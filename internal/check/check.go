@@ -34,6 +34,7 @@
 package check
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -266,29 +267,50 @@ func (p *Problem) itemName(i int) string {
 // over all paths and returns the findings. A correct solution yields no
 // error diagnostics.
 func Verify(p *Problem) *Result {
+	res, _ := VerifyCtx(context.Background(), p)
+	return res
+}
+
+// VerifyCtx is Verify with cooperative cancellation: the fixed-point
+// worklist polls ctx every few iterations and abandons the analysis
+// with ctx.Err() once it is canceled (partial results are discarded —
+// an unconverged lattice proves nothing).
+func VerifyCtx(ctx context.Context, p *Problem) (*Result, error) {
 	v := newVerifier(p)
-	v.run()
+	if err := v.runCtx(ctx); err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Diagnostics: v.diags,
 		Stats:       map[string]Stats{p.Name: v.stats},
 	}
 	res.Sort()
-	return res
+	return res, nil
 }
 
 // VerifyAll verifies several problems and merges their results.
 func VerifyAll(problems ...*Problem) *Result {
+	out, _ := VerifyAllCtx(context.Background(), problems...)
+	return out
+}
+
+// VerifyAllCtx verifies several problems under one context and merges
+// their results; the first cancellation aborts the remainder.
+func VerifyAllCtx(ctx context.Context, problems ...*Problem) (*Result, error) {
 	out := &Result{Stats: map[string]Stats{}}
 	for _, p := range problems {
 		if p == nil {
 			continue
 		}
-		r := Verify(p)
+		r, err := VerifyCtx(ctx, p)
+		if err != nil {
+			return nil, err
+		}
 		out.Diagnostics = append(out.Diagnostics, r.Diagnostics...)
 		for k, s := range r.Stats {
 			out.Stats[k] = s
 		}
 	}
 	out.Sort()
-	return out
+	return out, nil
 }

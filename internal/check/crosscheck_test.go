@@ -62,7 +62,7 @@ func randomProblem(t testing.TB, seed int64) (*interval.Graph, *core.Init, int) 
 // agreement contract on the result.
 func crosscheck(t *testing.T, label string, g *interval.Graph, init *core.Init, u int) {
 	t.Helper()
-	s := core.Solve(g, u, init)
+	s := core.MustSolve(g, u, init)
 	res := check.Verify(&check.Problem{Name: label, Graph: g, Universe: u, Init: init, Sol: s})
 	bounded := core.Verify(s, init, core.VerifyConfig{CheckSafety: true, MaxPaths: 1500})
 

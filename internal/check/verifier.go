@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -114,7 +115,7 @@ func (f frames) without(id int) frames {
 	return out
 }
 
-type context struct {
+type dfContext struct {
 	key     ctxKey
 	node    *interval.Node
 	f       frames
@@ -146,9 +147,9 @@ type verifier struct {
 	u     int // universe size
 	nn    int // node count
 	ext   int // fromMay index meaning "made available externally"
-	ctxs  map[ctxKey]*context
-	order []*context
-	wl    []*context
+	ctxs  map[ctxKey]*dfContext
+	order []*dfContext
+	wl    []*dfContext
 	snaps map[snapKey]*[2]*bitset.Set
 	diags []Diagnostic
 	dedup map[string]bool
@@ -157,7 +158,7 @@ type verifier struct {
 	// reporting switches transfer from propagation to diagnosis; cur is
 	// the context being replayed, for witness anchoring.
 	reporting bool
-	cur       *context
+	cur       *dfContext
 }
 
 func newVerifier(p *Problem) *verifier {
@@ -167,7 +168,7 @@ func newVerifier(p *Problem) *verifier {
 		u:     p.Universe,
 		nn:    len(p.Graph.Nodes),
 		ext:   len(p.Graph.Nodes),
-		ctxs:  map[ctxKey]*context{},
+		ctxs:  map[ctxKey]*dfContext{},
 		snaps: map[snapKey]*[2]*bitset.Set{},
 		dedup: map[string]bool{},
 	}
@@ -257,7 +258,7 @@ func (v *verifier) entryNode() *interval.Node {
 	return nil
 }
 
-func (v *verifier) enqueue(c *context) {
+func (v *verifier) enqueue(c *dfContext) {
 	if !c.queued {
 		c.queued = true
 		v.wl = append(v.wl, c)
@@ -272,7 +273,7 @@ func (v *verifier) contribute(k ctxKey, f frames, st *state) {
 	}
 	c := v.ctxs[k]
 	if c == nil {
-		c = &context{key: k, node: v.g.Nodes[k.node], f: f, outside: k.outside, in: st}
+		c = &dfContext{key: k, node: v.g.Nodes[k.node], f: f, outside: k.outside, in: st}
 		v.ctxs[k] = c
 		v.order = append(v.order, c)
 		v.enqueue(c)
@@ -308,15 +309,27 @@ func (v *verifier) recordSnap(node int, fkey string, st *state) {
 	}
 }
 
-func (v *verifier) run() {
+// runCtx drives the fixed point, polling ctx every pollEvery worklist
+// iterations; when canceled it abandons the analysis with ctx.Err()
+// without entering the reporting pass.
+func (v *verifier) runCtx(ctx context.Context) error {
+	const pollEvery = 64
+	done := ctx.Done()
 	entry := v.entryNode()
 	if entry == nil {
-		return
+		return nil
 	}
 	st := v.newState()
 	st.untainted = true
 	v.contribute(ctxKey{entry.ID, "", true}, nil, st)
 	for len(v.wl) > 0 {
+		if done != nil && v.stats.Iterations%pollEvery == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		c := v.wl[len(v.wl)-1]
 		v.wl = v.wl[:len(v.wl)-1]
 		c.queued = false
@@ -327,7 +340,7 @@ func (v *verifier) run() {
 
 	// Deterministic reporting pass over the stabilized states.
 	v.reporting = true
-	ord := append([]*context(nil), v.order...)
+	ord := append([]*dfContext(nil), v.order...)
 	sort.Slice(ord, func(i, j int) bool {
 		a, b := ord[i], ord[j]
 		if a.node.Pre != b.node.Pre {
@@ -342,6 +355,7 @@ func (v *verifier) run() {
 		v.cur = c
 		v.transfer(c)
 	}
+	return nil
 }
 
 func entryChild(h *interval.Node) *interval.Node {
@@ -370,7 +384,7 @@ func (v *verifier) popJump(f frames, target *interval.Node) frames {
 // of the IN state and feeds the per-edge results to the successor
 // contexts (or, in the reporting pass, emits diagnostics at the check
 // points instead).
-func (v *verifier) transfer(c *context) {
+func (v *verifier) transfer(c *dfContext) {
 	n := c.node
 	st := c.in.clone()
 

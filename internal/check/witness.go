@@ -30,7 +30,7 @@ const (
 
 // witnessGoal pins down where a diagnostic fired and for which item.
 type witnessGoal struct {
-	ctx  *context
+	ctx  *dfContext
 	fp   firePoint
 	ph   phase
 	item int
@@ -133,7 +133,7 @@ func (v *verifier) witness(g witnessGoal) []int {
 type wit struct {
 	v   *verifier
 	g   witnessGoal
-	c   *context
+	c   *dfContext
 	hit bool
 }
 
@@ -149,7 +149,7 @@ func (w *wit) check(fp firePoint, ph phase, s itemState) {
 // replay mirrors verifier.transfer for a single item: it applies the
 // context's events to the item automaton, tests the goal at every check
 // point, and returns the successor (context, state) pairs.
-func (v *verifier) replay(c *context, s itemState, g witnessGoal) (bool, []succItem) {
+func (v *verifier) replay(c *dfContext, s itemState, g witnessGoal) (bool, []succItem) {
 	n := c.node
 	w := &wit{v: v, g: g, c: c}
 

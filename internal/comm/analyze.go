@@ -13,6 +13,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 
 	"givetake/internal/bitset"
@@ -25,6 +26,17 @@ import (
 	"givetake/internal/sections"
 	"givetake/internal/vn"
 )
+
+// Opts tunes an analysis beyond observability.
+type Opts struct {
+	// SuppressHoist marks every loop header NoHoist before solving, the
+	// paper's STEAL_init option applied globally (§4.1, §5.3): no
+	// consumption is hoisted across any loop boundary, so no zero-trip
+	// speculation remains. It is the serve degradation ladder's second
+	// rung — a strictly more conservative, still balanced placement to
+	// retry with when the full solution fails verification.
+	SuppressHoist bool
+}
 
 // Analysis carries the communication-placement results of one program.
 type Analysis struct {
@@ -66,6 +78,23 @@ func Analyze(prog *ir.Program) (*Analysis, error) {
 // headline sizes, and the solver counters are exported via Counters.
 // A nil collector makes it behave — and cost — exactly like Analyze.
 func AnalyzeObs(prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), prog, ocol)
+}
+
+// AnalyzeCtx is AnalyzeObs with cooperative cancellation: ctx is polled
+// between pipeline stages and inside both dataflow solves (at interval
+// node granularity), and the analysis aborts with ctx.Err() once it is
+// canceled. A solver one-pass violation surfaces as core.ErrInvariant
+// rather than a panic.
+func AnalyzeCtx(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
+	return AnalyzeOpts(ctx, prog, ocol, Opts{})
+}
+
+// build runs the solver-free front half of the pipeline: CFG, interval
+// reduction, section universe, event collection, and the READ/WRITE
+// initial variables. Both the full analysis and the atomic fallback
+// start from exactly this state.
+func build(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
 	end := obs.Begin(ocol, "cfg-build")
 	c, err := cfg.Build(prog)
 	if err != nil {
@@ -73,6 +102,9 @@ func AnalyzeObs(prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
 		return nil, err
 	}
 	end("blocks", len(c.Blocks))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	end = obs.Begin(ocol, "interval-reduce")
 	g, err := interval.FromCFG(c)
 	if err != nil {
@@ -81,6 +113,9 @@ func AnalyzeObs(prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
 	}
 	maxLevel, _ := g.LevelStats()
 	end("nodes", len(g.Nodes), "max-level", maxLevel)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	a := &Analysis{
 		Prog:     prog,
 		CFG:      c,
@@ -151,13 +186,35 @@ func AnalyzeObs(prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
 	}
 
 	end("items", u, "events", len(col.events), "reductions", len(a.Reduce))
+	return a, nil
+}
 
-	end = obs.Begin(ocol, "solve-read")
-	a.Read = core.Solve(g, u, a.ReadInit)
+// AnalyzeOpts is AnalyzeCtx with analysis options. It is the full entry
+// point the serve degradation ladder drives: rung 1 passes the zero
+// Opts, rung 2 retries with SuppressHoist.
+func AnalyzeOpts(ctx context.Context, prog *ir.Program, ocol obs.Collector, opt Opts) (*Analysis, error) {
+	a, err := build(ctx, prog, ocol)
+	if err != nil {
+		return nil, err
+	}
+	if opt.SuppressHoist {
+		for _, n := range a.Graph.Nodes {
+			if n.IsHeader && n != a.Graph.Root {
+				n.NoHoist = true
+			}
+		}
+	}
+	u := a.Universe.Size()
+	end := obs.Begin(ocol, "solve-read")
+	a.Read, err = core.SolveCtx(ctx, a.Graph, u, a.ReadInit)
+	if err != nil {
+		end()
+		return nil, err
+	}
 	end("eq-evals", a.Read.EquationEvals, "set-ops", a.Read.Stats.SetOps)
 
 	end = obs.Begin(ocol, "reverse-graph")
-	rev, err := interval.Reverse(g)
+	rev, err := interval.Reverse(a.Graph)
 	if err != nil {
 		end()
 		return nil, err
@@ -166,8 +223,42 @@ func AnalyzeObs(prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
 	end()
 
 	end = obs.Begin(ocol, "solve-write")
-	a.Write = core.Solve(rev, u, a.WriteInit)
+	a.Write, err = core.SolveCtx(ctx, rev, u, a.WriteInit)
+	if err != nil {
+		end()
+		return nil, err
+	}
 	end("eq-evals", a.Write.EquationEvals, "set-ops", a.Write.Stats.SetOps)
+	return a, nil
+}
+
+// AtomicFallback builds the bottom rung of the degradation ladder: the
+// always-balanced placement that communicates atomically at every
+// consumption point (core.Atomic), for both the READ and the WRITE
+// problem. It runs no dataflow solver and no fixed point — only the
+// linear front half of the pipeline — so it cannot hit the one-pass
+// invariant and has no pathological inputs beyond sheer program size.
+// The returned analysis annotates (use AtomicComm options: Split would
+// emit coincident halves) and verifies like any other: its Init sets
+// are rewritten to the atomic runtime contract (consumed items are
+// invalidated at their own node, free production is dropped), against
+// which CheckPlacement reports no criterion errors.
+func AtomicFallback(prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
+	a, err := build(context.Background(), prog, ocol)
+	if err != nil {
+		return nil, err
+	}
+	u := a.Universe.Size()
+	end := obs.Begin(ocol, "atomic-fallback")
+	a.Read, a.ReadInit = core.Atomic(a.Graph, u, a.ReadInit)
+	rev, err := interval.Reverse(a.Graph)
+	if err != nil {
+		end()
+		return nil, err
+	}
+	a.RevGraph = rev
+	a.Write, a.WriteInit = core.Atomic(rev, u, a.WriteInit)
+	end("items", u)
 	return a, nil
 }
 

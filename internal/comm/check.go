@@ -1,6 +1,8 @@
 package comm
 
 import (
+	"context"
+
 	"givetake/internal/check"
 	"givetake/internal/ir"
 	"givetake/internal/obs"
@@ -41,9 +43,21 @@ func (a *Analysis) Problems() []*check.Problem {
 // communication linter, without trusting the solver's equations. The
 // work is recorded as a "check" span on col; a nil collector is fine.
 func (a *Analysis) CheckPlacement(col obs.Collector) *check.Result {
+	res, _ := a.CheckPlacementCtx(context.Background(), col)
+	return res
+}
+
+// CheckPlacementCtx is CheckPlacement with cooperative cancellation:
+// the verifier's fixed point polls ctx and the whole check aborts with
+// ctx.Err() once it is canceled.
+func (a *Analysis) CheckPlacementCtx(ctx context.Context, col obs.Collector) (*check.Result, error) {
 	end := obs.Begin(col, "check")
 	probs := a.Problems()
-	res := check.VerifyAll(probs...)
+	res, err := check.VerifyAllCtx(ctx, probs...)
+	if err != nil {
+		end()
+		return nil, err
+	}
 	for _, p := range probs {
 		res.Diagnostics = append(res.Diagnostics, check.Lint(p)...)
 	}
@@ -56,7 +70,7 @@ func (a *Analysis) CheckPlacement(col obs.Collector) *check.Result {
 	}
 	end("errors", len(res.Errors()), "warnings", len(res.Warnings()),
 		"contexts", contexts, "iterations", iterations)
-	return res
+	return res, nil
 }
 
 // lintDeadArrays flags distributed arrays that no statement ever

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"givetake/internal/bitset"
+	"givetake/internal/interval"
+)
+
+// Atomic returns the degenerate fallback placement that produces every
+// item exactly at its consumption point, in both schedules: for each
+// node n, RES_in(n) = TAKE_init(n) for EAGER and LAZY alike, and no
+// production anywhere else. This is the paper's always-correct floor
+// (§2, §3.1): production at the consumption point is trivially balanced
+// — each region opens and closes at the same program point, so C1 can
+// never break — every consumer is satisfied by its own transfer (C3),
+// and nothing produced outlives its node (C2). It is also maximally
+// pessimal (no vectorization, no latency hiding, no redundancy
+// elimination), which is why it is a degradation target and not a
+// result.
+//
+// The second return value is the initial-variable set the placement is
+// correct against: atomic transfers are consumed immediately and the
+// runtime retains no local copy, so every consumed item is invalidated
+// at its own node (STEAL_init ∪= TAKE_init) and free production is
+// dropped (GIVE_init = ∅ — a local copy that is never reused provides
+// nothing). Verifying the returned Solution against the returned Init
+// with check.Verify yields no criterion errors for any graph; O1 in
+// particular cannot fire because availability never survives a node.
+//
+// Atomic performs no dataflow solving at all — O(N) set copies — so it
+// cannot hit the one-pass invariant, cannot meaningfully time out, and
+// never fails; it is the bottom rung of the serve degradation ladder.
+func Atomic(g *interval.Graph, universe int, init *Init) (*Solution, *Init) {
+	n := len(g.Nodes)
+	s := &Solution{Graph: g, Universe: universe}
+	s.Stats.Nodes = n
+	s.Stats.Universe = universe
+	s.Stats.Words = (universe + 63) / 64
+	s.Stats.MaxLevel, s.Stats.NodesPerLevel = g.LevelStats()
+	alloc := func() []*bitset.Set {
+		return bitset.NewSlice(n, universe)
+	}
+	s.Steal, s.Give, s.Block = alloc(), alloc(), alloc()
+	s.TakenOut, s.Take, s.TakenIn = alloc(), alloc(), alloc()
+	s.BlockLoc, s.TakeLoc = alloc(), alloc()
+	s.GiveLoc, s.StealLoc = alloc(), alloc()
+	for _, p := range []*Placement{&s.Eager, &s.Lazy} {
+		p.GivenIn, p.Given, p.GivenOut = alloc(), alloc(), alloc()
+		p.ResIn, p.ResOut = alloc(), alloc()
+	}
+
+	fb := NewInit(n)
+	for id := 0; id < n; id++ {
+		if t := at(init.Take, id); t != nil {
+			fb.Take[id] = t.Clone()
+			s.Take[id].UnionWith(t)
+			s.Eager.ResIn[id].UnionWith(t)
+			s.Lazy.ResIn[id].UnionWith(t)
+			s.Eager.Given[id].UnionWith(t)
+			s.Lazy.Given[id].UnionWith(t)
+		}
+		// the node-local invalidation set: everything the original
+		// problem steals here, plus everything consumed or given here
+		st := bitset.New(universe)
+		if v := at(init.Steal, id); v != nil {
+			st.UnionWith(v)
+		}
+		if v := at(init.Take, id); v != nil {
+			st.UnionWith(v)
+		}
+		if v := at(init.Give, id); v != nil {
+			st.UnionWith(v)
+		}
+		if !st.IsEmpty() {
+			fb.Steal[id] = st
+			s.Steal[id].UnionWith(st)
+		}
+	}
+	return s, fb
+}
+
+// at indexes an Init slice defensively (nil slice or entry = empty).
+func at(v []*bitset.Set, id int) *bitset.Set {
+	if v == nil || id >= len(v) || v[id] == nil {
+		return nil
+	}
+	return v[id]
+}

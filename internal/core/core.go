@@ -24,6 +24,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -31,6 +33,26 @@ import (
 	"givetake/internal/interval"
 	"givetake/internal/obs"
 )
+
+// ErrInvariant is the sentinel for a broken one-pass O(E) invariant:
+// some equation group was about to be evaluated a second time at a
+// node. Detect it with errors.Is(err, ErrInvariant); the concrete
+// error is an *InvariantError naming the group and node.
+var ErrInvariant = errors.New("core: one-pass O(E) invariant broken")
+
+// InvariantError reports which equation group was re-evaluated where.
+// It is returned (never panicked) by Solve and SolveCtx.
+type InvariantError struct {
+	Group string // equation group name, e.g. "Eqs.1-8"
+	Node  int    // interval node ID
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("core: %s re-evaluated at node %d (one-pass O(E) invariant broken)", e.Group, e.Node)
+}
+
+// Is makes errors.Is(err, ErrInvariant) succeed for InvariantError.
+func (e *InvariantError) Is(target error) bool { return target == ErrInvariant }
 
 // Mode selects the production schedule of a solution.
 type Mode int
@@ -155,10 +177,12 @@ var grpEqs = [grpCount]int{8, 2, 3, 3, 2, 2}
 // fails loudly if the group was already evaluated there — the solver's
 // O(E) bound rests on every equation being evaluated exactly once per
 // node, and a silent re-evaluation would invalidate every complexity
-// number the observability layer reports.
+// number the observability layer reports. The panic value is an
+// *InvariantError; SolveCtx recovers it at the API boundary, so no
+// caller of the exported entry points ever sees the panic itself.
 func (s *Solution) enter(grp, id int) {
 	if s.evals[grp][id]++; s.evals[grp][id] > 1 {
-		panic(fmt.Sprintf("core: %s re-evaluated at node %d (one-pass O(E) invariant broken)", grpName[grp], id))
+		panic(&InvariantError{Group: grpName[grp], Node: id})
 	}
 	s.EquationEvals += grpEqs[grp]
 	s.Stats.EquationEvals += int64(grpEqs[grp])
@@ -184,8 +208,50 @@ func (s *Solution) Place(m Mode) *Placement {
 // is evaluated exactly once per node, so the work is O(E) bit-vector
 // operations. Init slices must be indexed by node ID; missing entries
 // are empty sets. Zero-trip hoisting is suppressed for nodes whose
-// NoHoist flag is set (§4.1, §5.3).
-func Solve(g *interval.Graph, universe int, init *Init) *Solution {
+// NoHoist flag is set (§4.1, §5.3). A broken one-pass invariant is
+// returned as *InvariantError (errors.Is ErrInvariant), never panicked.
+func Solve(g *interval.Graph, universe int, init *Init) (*Solution, error) {
+	return SolveCtx(context.Background(), g, universe, init)
+}
+
+// MustSolve is Solve for callers with a known-good graph (tests,
+// benchmarks, generated inputs): it panics on any error instead of
+// returning it.
+func MustSolve(g *interval.Graph, universe int, init *Init) *Solution {
+	s, err := Solve(g, universe, init)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SolveCtx is Solve with cooperative cancellation: between interval
+// nodes — the granularity at which every dataflow variable is still
+// consistent — the solver polls ctx and abandons the solve with
+// ctx.Err(). The check is a single channel poll per node, so an
+// uncancelable context costs nothing measurable.
+func SolveCtx(ctx context.Context, g *interval.Graph, universe int, init *Init) (sol *Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inv, ok := r.(*InvariantError)
+			if !ok {
+				panic(r) // not ours; re-raise
+			}
+			sol, err = nil, inv
+		}
+	}()
+	done := ctx.Done()
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	n := len(g.Nodes)
 	s := &Solution{Graph: g, Universe: universe}
 	s.Stats.Nodes = n
@@ -222,6 +288,9 @@ func Solve(g *interval.Graph, universe int, init *Init) *Solution {
 	// variables are never read, but its children still need S2.
 	pre := g.Preorder
 	for i := len(pre) - 1; i >= 0; i-- {
+		if canceled() {
+			return nil, ctx.Err()
+		}
 		nd := pre[i]
 		if nd.IsHeader {
 			for _, c := range nd.Children {
@@ -236,17 +305,23 @@ func Solve(g *interval.Graph, universe int, init *Init) *Solution {
 
 	// ----- Pass 2: S3 (Eqs. 11–13) in PREORDER, per mode.
 	for _, nd := range pre {
+		if canceled() {
+			return nil, ctx.Err()
+		}
 		s.eq11_13(nd, Eager)
 		s.eq11_13(nd, Lazy)
 	}
 
 	// ----- Pass 3: S4 (Eqs. 14–15), any order.
 	for _, nd := range pre {
+		if canceled() {
+			return nil, ctx.Err()
+		}
 		s.eq14_15(nd, Eager)
 		s.eq14_15(nd, Lazy)
 	}
 	s.finishStats()
-	return s
+	return s, nil
 }
 
 // finishStats derives the aggregate counters after the passes: total

@@ -62,7 +62,7 @@ func (sc *scenario) take(substr string)  { sc.init.AddTake(sc.node(substr), sc.u
 func (sc *scenario) steal(substr string) { sc.init.AddSteal(sc.node(substr), sc.u, sc.one()) }
 func (sc *scenario) give(substr string)  { sc.init.AddGive(sc.node(substr), sc.u, sc.one()) }
 
-func (sc *scenario) solve() *Solution { return Solve(sc.g, sc.u, sc.init) }
+func (sc *scenario) solve() *Solution { return MustSolve(sc.g, sc.u, sc.init) }
 
 // solveVerified solves and checks C1/C3/O1 (and C2 on ≥1-trip paths) on
 // all bounded paths.
@@ -337,7 +337,7 @@ b = 2
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := Solve(rev, sc.u, sc.init)
+	s := MustSolve(rev, sc.u, sc.init)
 	if vs := Verify(s, sc.init, VerifyConfig{CheckSafety: true}); len(vs) > 0 {
 		t.Fatalf("violations: %v", vs)
 	}
@@ -372,7 +372,7 @@ b = 2
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := Solve(rev, sc.u, sc.init)
+	s := MustSolve(rev, sc.u, sc.init)
 	if vs := Verify(s, sc.init, VerifyConfig{CheckSafety: true}); len(vs) > 0 {
 		t.Fatalf("violations: %v", vs)
 	}
@@ -411,7 +411,7 @@ enddo
 	if !hdr.NoHoist {
 		t.Fatal("reversed loop with jump edge should be NoHoist")
 	}
-	s := Solve(rev, sc.u, sc.init)
+	s := MustSolve(rev, sc.u, sc.init)
 	// Correctness (C1 balance, C3 sufficiency) must hold. Optimality O1
 	// may not: the paper itself notes its §5.3 treatment "prevents unsafe
 	// code generation [but] may miss some otherwise legal optimizations",

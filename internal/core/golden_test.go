@@ -167,7 +167,7 @@ func cat(lists ...[]int) []int {
 // TestFig12GoldenValues checks every §4 example value against the solver.
 func TestFig12GoldenValues(t *testing.T) {
 	g, m := fig12(t)
-	s := Solve(g, universeSize, fig12Init(g, m))
+	s := MustSolve(g, universeSize, fig12Init(g, m))
 
 	steal := func(s *Solution) []*bitset.Set { return s.Steal }
 	block := func(s *Solution) []*bitset.Set { return s.Block }
@@ -289,7 +289,7 @@ func TestFig12GoldenValues(t *testing.T) {
 // per mode, i.e. 20 evaluations per node.
 func TestFig12EquationEvalsLinear(t *testing.T) {
 	g, m := fig12(t)
-	s := Solve(g, universeSize, fig12Init(g, m))
+	s := MustSolve(g, universeSize, fig12Init(g, m))
 	want := 20 * len(g.Nodes)
 	if s.EquationEvals != want {
 		t.Fatalf("equation evaluations = %d, want %d", s.EquationEvals, want)

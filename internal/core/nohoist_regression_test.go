@@ -18,7 +18,7 @@ func TestRegressionNoHoistBalance(t *testing.T) {
 	for _, n := range g.Nodes {
 		n.NoHoist = true
 	}
-	s := Solve(g, u, init)
+	s := MustSolve(g, u, init)
 	vs := filterViolations(Verify(s, init, VerifyConfig{CheckSafety: true, MaxPaths: 1500}), "O1")
 	for i, v := range vs {
 		if i > 1 {

@@ -75,7 +75,7 @@ func filterViolations(vs []Violation, drop ...string) []Violation {
 func TestPropertyBeforeProblems(t *testing.T) {
 	f := func(seed int64) bool {
 		g, init, u := randomProblem(t, seed, false)
-		s := Solve(g, u, init)
+		s := MustSolve(g, u, init)
 		vs := Verify(s, init, VerifyConfig{CheckSafety: true, MaxPaths: 1500})
 		if len(vs) > 0 {
 			t.Logf("seed %d: %d violations, first: %v", seed, len(vs), vs[0])
@@ -99,7 +99,7 @@ func TestPropertyAfterProblems(t *testing.T) {
 			t.Logf("seed %d: reverse: %v", seed, err)
 			return false
 		}
-		s := Solve(rev, u, init)
+		s := MustSolve(rev, u, init)
 		vs := Verify(s, init, VerifyConfig{CheckSafety: true, MaxPaths: 1500})
 		if len(vs) > 0 {
 			t.Logf("seed %d: %d violations, first: %v", seed, len(vs), vs[0])
@@ -122,7 +122,7 @@ func TestPropertyNoHoistSafety(t *testing.T) {
 		for _, n := range g.Nodes {
 			n.NoHoist = true
 		}
-		s := Solve(g, u, init)
+		s := MustSolve(g, u, init)
 		// With no hoisting, C2 must hold even counting zero-trip paths:
 		// nothing was moved above a loop that might not run. The verifier
 		// only checks C2 on all-trips≥1 paths, so additionally assert no
@@ -142,8 +142,8 @@ func TestPropertyNoHoistSafety(t *testing.T) {
 // TestPropertySolveDeterministic: same inputs, same outputs.
 func TestPropertySolveDeterministic(t *testing.T) {
 	g, init, u := randomProblem(t, 42, false)
-	a := Solve(g, u, init)
-	b := Solve(g, u, init)
+	a := MustSolve(g, u, init)
+	b := MustSolve(g, u, init)
 	for _, n := range g.Nodes {
 		for _, m := range []Mode{Eager, Lazy} {
 			if !a.Place(m).ResIn[n.ID].Equal(b.Place(m).ResIn[n.ID]) ||
@@ -160,7 +160,7 @@ func TestPropertySolveDeterministic(t *testing.T) {
 func TestPropertyEagerDominatesLazy(t *testing.T) {
 	f := func(seed int64) bool {
 		g, init, u := randomProblem(t, seed, false)
-		s := Solve(g, u, init)
+		s := MustSolve(g, u, init)
 		for _, n := range g.Nodes {
 			if !s.Eager.Given[n.ID].ContainsAll(s.Lazy.Given[n.ID]) {
 				t.Logf("seed %d: GIVEN^lazy ⊄ GIVEN^eager at %v", seed, n)
@@ -179,7 +179,7 @@ func TestPropertyEagerDominatesLazy(t *testing.T) {
 func TestPropertyEquationEvalsLinear(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 4, 5} {
 		g, init, u := randomProblem(t, seed, false)
-		s := Solve(g, u, init)
+		s := MustSolve(g, u, init)
 		if s.EquationEvals != 20*len(g.Nodes) {
 			t.Fatalf("seed %d: evals = %d, want %d", seed, s.EquationEvals, 20*len(g.Nodes))
 		}

@@ -49,7 +49,7 @@ func TestRegressionAfterSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := Solve(rev, u, init)
+	s := MustSolve(rev, u, init)
 	if vs := Verify(s, init, VerifyConfig{CheckSafety: true, MaxPaths: 1500}); len(vs) > 0 {
 		t.Fatalf("%d violations, first: %v", len(vs), vs[0])
 	}

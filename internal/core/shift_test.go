@@ -75,7 +75,7 @@ s = x(1)
 func TestShiftPreservesCorrectnessRandom(t *testing.T) {
 	f := func(seed int64) bool {
 		g, init, u := randomProblem(t, seed, false)
-		s := Solve(g, u, init)
+		s := MustSolve(g, u, init)
 		before := s.SyntheticResidue(Eager) + s.SyntheticResidue(Lazy)
 		s.ShiftOffSynthetic()
 		after := s.SyntheticResidue(Eager) + s.SyntheticResidue(Lazy)
@@ -97,7 +97,7 @@ func TestShiftPreservesCorrectnessRandom(t *testing.T) {
 // TestShiftIdempotent: a second run moves nothing.
 func TestShiftIdempotent(t *testing.T) {
 	g, init, u := randomProblem(t, 7, false)
-	s := Solve(g, u, init)
+	s := MustSolve(g, u, init)
 	s.ShiftOffSynthetic()
 	if moved := s.ShiftOffSynthetic(); moved != 0 {
 		t.Fatalf("second shift moved %d productions", moved)
@@ -112,7 +112,7 @@ func TestShiftOnReversedGraphs(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		s := Solve(rev, u, init)
+		s := MustSolve(rev, u, init)
 		s.ShiftOffSynthetic()
 		vs := Verify(s, init, VerifyConfig{MaxPaths: 600})
 		for _, v := range vs {
@@ -135,7 +135,7 @@ func TestShiftOnReversedGraphs(t *testing.T) {
 // edges.
 func TestRegressionShiftLatchPad(t *testing.T) {
 	g, init, u := randomProblem(t, 6006593081627261225, false)
-	s := Solve(g, u, init)
+	s := MustSolve(g, u, init)
 	s.ShiftOffSynthetic()
 	if vs := Verify(s, init, VerifyConfig{CheckSafety: true, MaxPaths: 800}); len(vs) > 0 {
 		t.Fatalf("shift broke the placement: %v", vs[0])

@@ -11,6 +11,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -143,6 +144,19 @@ func (t *Trace) UnmatchedSplit() (sends, recvs int64) {
 
 // Run executes the program and returns its trace.
 func Run(prog *ir.Program, cfg Config) (*Trace, error) {
+	return RunCtx(context.Background(), prog, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: execution polls ctx
+// every pollSteps statements and aborts with ctx.Err() once it is
+// canceled.
+//
+// On execution errors that truncate an otherwise healthy run — step
+// budget exhaustion (errors.Is(err, ErrStepLimit)) and cancellation —
+// RunCtx returns the partial trace accumulated so far alongside the
+// error, with Steps and Faults finalized, so callers can still inspect
+// how far the program got. Setup errors return a nil trace.
+func RunCtx(ctx context.Context, prog *ir.Program, cfg Config) (*Trace, error) {
 	cfg.MaxSteps = cfg.maxSteps()
 	spanName := cfg.SpanName
 	if spanName == "" {
@@ -158,6 +172,8 @@ func Run(prog *ir.Program, cfg Config) (*Trace, error) {
 		dims:    map[string][]int64{},
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		trace:   &Trace{},
+		done:    ctx.Done(),
+		ctx:     ctx,
 	}
 	if cfg.Faults.Enabled() {
 		seed := cfg.FaultSeed
@@ -192,14 +208,17 @@ func Run(prog *ir.Program, cfg Config) (*Trace, error) {
 		ex.dims[d.Name] = dims
 	}
 	_, err := ex.exec(prog.Body)
-	if err != nil {
-		return nil, err
-	}
+	// finalize the trace even when execution was truncated: a partial
+	// trace with Steps and Faults populated is still meaningful to
+	// budget-limited callers (gnt -mode serve, gntbench)
 	ex.trace.Steps = ex.steps
 	if ex.net != nil {
 		ex.net.Finish()
 		rep := ex.net.Report()
 		ex.trace.Faults = &rep
+	}
+	if err != nil {
+		return ex.trace, err
 	}
 	// explicit close attaches the result sizes; the deferred end() is
 	// then a no-op (it only fires on error paths)
@@ -259,7 +278,14 @@ type executor struct {
 	net     *netsim.Transport // nil: reliable transport
 	trace   *Trace
 	steps   int64
+	done    <-chan struct{} // ctx.Done(), polled every pollSteps ticks
+	ctx     context.Context
 }
+
+// pollSteps is how often (in statement ticks) the executor polls for
+// cancellation: frequent enough that canceling a hot loop takes well
+// under a millisecond, rare enough to stay off the tick fast path.
+const pollSteps = 1024
 
 // flatIndex linearizes a (1-based) multi-dimensional index; out-of-range
 // or rank-mismatched accesses yield -1.
@@ -283,6 +309,13 @@ func (ex *executor) tick() error {
 	ex.steps++
 	if ex.steps > ex.cfg.MaxSteps {
 		return fmt.Errorf("%w (MaxSteps=%d)", ErrStepLimit, ex.cfg.MaxSteps)
+	}
+	if ex.steps%pollSteps == 0 && ex.done != nil {
+		select {
+		case <-ex.done:
+			return ex.ctx.Err()
+		default:
+		}
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"givetake/internal/frontend"
 	"givetake/internal/ir"
@@ -170,6 +172,58 @@ func TestStepBudget(t *testing.T) {
 	}
 	if !errors.Is(err, ErrStepLimit) {
 		t.Fatalf("step-budget error should wrap ErrStepLimit, got %v", err)
+	}
+}
+
+func TestStepBudgetPartialTrace(t *testing.T) {
+	// Comm statements cannot be parsed; build the looped atomic READ
+	// directly so the truncated trace carries communication events.
+	prog := ir.NewProgram("t")
+	prog.Declare(&ir.ArrayDecl{Name: "x", Dims: []ir.Expr{&ir.IntLit{Value: 10}}, Dist: ir.Block})
+	read := &ir.Comm{Op: "READ", Args: []ir.Expr{
+		&ir.ArrayRef{Name: "x", Subs: []ir.Expr{&ir.IntLit{Value: 1}}}}}
+	body := ir.NewAssign(ir.Pos{}, &ir.Ident{Name: "s"},
+		&ir.BinExpr{Op: "+", X: &ir.Ident{Name: "s"}, Y: &ir.IntLit{Value: 1}})
+	prog.Body = []ir.Stmt{ir.NewDo(ir.Pos{}, "i",
+		&ir.IntLit{Value: 1}, &ir.IntLit{Value: 1000000}, read, body)}
+
+	tr, err := Run(prog, Config{N: 1, MaxSteps: 100})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want ErrStepLimit, got %v", err)
+	}
+	if tr == nil {
+		t.Fatal("truncated run must still return the partial trace")
+	}
+	if tr.Steps != 101 {
+		t.Fatalf("partial trace Steps = %d, want 101 (budget+1)", tr.Steps)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("partial trace should carry the events executed before truncation")
+	}
+	// the aggregate view must work on a truncated trace too
+	rs := tr.Stats("truncated")
+	if rs.Steps != tr.Steps || rs.Messages == 0 || rs.Volume == 0 {
+		t.Fatalf("Stats on partial trace = %+v, want populated Steps/Messages/Volume", rs)
+	}
+}
+
+func TestRunCtxCanceled(t *testing.T) {
+	prog, err := frontend.Parse("do i = 1, 1000000\n s = s + 1\nenddo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	tr, err := RunCtx(ctx, prog, Config{N: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if tr == nil {
+		t.Fatal("canceled run must still return the partial trace")
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("cancellation took %v, want < 100ms", d)
 	}
 }
 

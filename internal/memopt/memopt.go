@@ -139,7 +139,10 @@ func Analyze(prog *ir.Program) (*Analysis, error) {
 			a.Init.AddTake(n, u, bitset.Of(u, e.item.ID))
 		}
 	}
-	a.Solution = core.Solve(g, u, a.Init)
+	a.Solution, err = core.Solve(g, u, a.Init)
+	if err != nil {
+		return nil, err
+	}
 	return a, nil
 }
 

@@ -24,6 +24,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -93,15 +94,30 @@ func (c FaultConfig) withDefaults() FaultConfig {
 // backoff is the sender's wait beyond the ack timeout before retry i
 // (0-based): BackoffBase·2^i capped at BackoffMax, plus jitter drawn
 // uniformly from [0, backoff/2] so synchronized retries spread out.
+//
+// The doubling saturates at BackoffMax before it can overflow int64:
+// with a retry budget ≥ 63 and a near-MaxInt64 cap, naive repeated
+// doubling wraps negative and the jitter draw panics. The guard clamps
+// as soon as another doubling could exceed the cap (b > BackoffMax>>1
+// ⇒ 2b > BackoffMax), which also bounds b·2 away from overflow for any
+// positive cap.
 func (c FaultConfig) backoff(retry int, rng *rand.Rand) int64 {
 	b := c.BackoffBase
-	for i := 0; i < retry && b < c.BackoffMax; i++ {
-		b *= 2
+	for i := 0; i < retry; i++ {
+		if b > c.BackoffMax>>1 {
+			b = c.BackoffMax
+			break
+		}
+		b <<= 1
 	}
 	if b > c.BackoffMax {
 		b = c.BackoffMax
 	}
-	return b + rng.Int63n(b/2+1)
+	j := rng.Int63n(b/2 + 1)
+	if j > math.MaxInt64-b { // saturate the jitter add at huge caps
+		j = math.MaxInt64 - b
+	}
+	return b + j
 }
 
 // Delivery is the receiver-visible outcome of one transfer.

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -70,6 +71,33 @@ func TestBackoffGrowsAndCaps(t *testing.T) {
 			t.Fatalf("backoff floor must be nondecreasing: %d after %d", base, prevMin)
 		}
 		prevMin = base
+	}
+}
+
+func TestBackoffOverflowGuard(t *testing.T) {
+	// Regression: with a near-MaxInt64 cap, naive doubling wraps
+	// negative around attempt 63 and rng.Int63n(b/2+1) panics. The
+	// shift-guarded loop must saturate at the cap instead, for any
+	// retry count.
+	c := FaultConfig{BackoffBase: 8, BackoffMax: math.MaxInt64 - 1}.withDefaults()
+	rng := rand.New(rand.NewSource(1))
+	for _, retry := range []int{62, 63, 64, 100, 1 << 20} {
+		b := c.backoff(retry, rng)
+		if b < c.BackoffMax {
+			t.Fatalf("backoff(%d) = %d, want saturation at cap %d", retry, b, c.BackoffMax)
+		}
+		if b < 0 {
+			t.Fatalf("backoff(%d) overflowed to %d", retry, b)
+		}
+	}
+	// the exact-power-of-two cap boundary must also stay exact: base 1
+	// reaches the 2^62 cap after exactly 62 doublings
+	c2 := FaultConfig{BackoffBase: 1, BackoffMax: 1 << 62}.withDefaults()
+	for _, retry := range []int{62, 63, 200} {
+		b := c2.backoff(retry, rng)
+		if b < 1<<62 || b < 0 {
+			t.Fatalf("backoff(%d) = %d, want ≥ cap %d", retry, b, int64(1)<<62)
+		}
 	}
 }
 

@@ -155,7 +155,10 @@ func (p *Problem) GiveNTake() (*Placement, *core.Solution, error) {
 			init.AddSteal(n, p.Universe, killed)
 		}
 	}
-	s := core.Solve(g, p.Universe, init)
+	s, err := core.Solve(g, p.Universe, init)
+	if err != nil {
+		return nil, nil, err
+	}
 	pl := &Placement{Insert: p.sets(), Redundant: p.sets(), Iterations: 1}
 	for _, n := range g.Nodes {
 		id := n.Block.ID

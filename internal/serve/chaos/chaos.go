@@ -1,0 +1,139 @@
+// Package chaos generates adversarial request streams for the analysis
+// service: well-formed corpus programs, randomly generated programs,
+// malformed sources, oversized bodies, 1ms deadline storms, injected
+// mid-stage panics, and seeded solution corruptions. The harness
+// (chaos_test.go) replays a mixed stream against a live server and
+// asserts the service contract: the process never crashes, every
+// request gets a structured JSON response naming its degradation-ladder
+// rung, and every successful placement verified cleanly.
+package chaos
+
+import (
+	"math/rand"
+
+	"givetake/internal/progen"
+	"givetake/internal/serve"
+)
+
+// Kind classifies one generated request.
+type Kind string
+
+const (
+	// KindCorpus replays a real corpus program unmodified.
+	KindCorpus Kind = "corpus"
+	// KindGenerated sends a seeded random program with distributed
+	// arrays (real analysis work).
+	KindGenerated Kind = "generated"
+	// KindMalformed sends syntactically broken source (parse error).
+	KindMalformed Kind = "malformed"
+	// KindOversized sends a body beyond the server's source cap (413).
+	KindOversized Kind = "oversized"
+	// KindPanic injects a panic into rung 1 (the ladder must recover
+	// and answer from a lower rung).
+	KindPanic Kind = "panic"
+	// KindMutate corrupts the rung-1 solution before verification (the
+	// verifier must catch it and the ladder must descend).
+	KindMutate Kind = "mutate"
+	// KindDeadline sends a healthy program with a 1ms deadline and a
+	// stalled analysis (the detached atomic floor must still answer).
+	KindDeadline Kind = "deadline"
+)
+
+// kinds and weights of the mixed stream; heavier on the healthy kinds
+// so degradation stays the exception the way production traffic would
+// have it, but every failure mode appears many times in 200 requests.
+var mix = []struct {
+	kind   Kind
+	weight int
+}{
+	{KindCorpus, 5},
+	{KindGenerated, 5},
+	{KindMalformed, 2},
+	{KindOversized, 1},
+	{KindPanic, 2},
+	{KindMutate, 2},
+	{KindDeadline, 3},
+}
+
+// Gen produces a deterministic adversarial request stream.
+type Gen struct {
+	rng    *rand.Rand
+	corpus []string
+	total  int
+}
+
+// NewGen seeds a generator over the given corpus sources (may be
+// empty; corpus draws then fall back to generated programs).
+func NewGen(seed int64, corpus []string) *Gen {
+	g := &Gen{rng: rand.New(rand.NewSource(seed)), corpus: corpus}
+	for _, m := range mix {
+		g.total += m.weight
+	}
+	return g
+}
+
+// malformed sources: lexer errors, parser errors, truncations.
+var malformed = []string{
+	"do i = \n",
+	"if then\nendif",
+	"distributed x(\n",
+	"x(1) = @#$%\n",
+	"do i = 1, n\n", // unterminated loop
+	"goto nowhere\n",
+	"enddo\n",
+}
+
+// Next returns the next request and its kind.
+func (g *Gen) Next() (serve.Request, Kind) {
+	w := g.rng.Intn(g.total)
+	var kind Kind
+	for _, m := range mix {
+		if w < m.weight {
+			kind = m.kind
+			break
+		}
+		w -= m.weight
+	}
+
+	healthy := func() string {
+		if len(g.corpus) > 0 && g.rng.Intn(2) == 0 {
+			return g.corpus[g.rng.Intn(len(g.corpus))]
+		}
+		return progen.GenerateSource(g.rng.Int63n(1<<30)+1, progen.Config{
+			Stmts: 10 + g.rng.Intn(30), Arrays: true,
+		})
+	}
+
+	switch kind {
+	case KindCorpus, KindGenerated:
+		return serve.Request{Source: healthy()}, kind
+	case KindMalformed:
+		return serve.Request{Source: malformed[g.rng.Intn(len(malformed))]}, kind
+	case KindOversized:
+		// a single long comment line blows the byte cap without costing
+		// generation time
+		big := make([]byte, 1<<17)
+		for i := range big {
+			big[i] = 'x'
+		}
+		return serve.Request{Source: "! " + string(big) + "\ns = 1\n"}, kind
+	case KindPanic:
+		return serve.Request{
+			Source: healthy(),
+			Chaos:  &serve.ChaosSpec{PanicRung: serve.RungName(serve.RungFull)},
+		}, kind
+	case KindMutate:
+		return serve.Request{
+			Source: healthy(),
+			Chaos:  &serve.ChaosSpec{MutateSeed: g.rng.Int63n(1<<30) + 1},
+		}, kind
+	default: // KindDeadline
+		// stall rungs 1-2 past the 1ms deadline so the storm actually
+		// exhausts the budget and the atomic floor must answer
+		return serve.Request{
+			Source:    healthy(),
+			TimeoutMS: 1,
+			Chaos:     &serve.ChaosSpec{StallMS: 20},
+		}, kind
+	}
+}

@@ -1,0 +1,238 @@
+// Package serve turns the GIVE-N-TAKE pipeline into a long-running
+// analysis service: POST a mini-Fortran program, get back a verified
+// communication placement as structured JSON. The package exists to
+// harden the analysis against the failure modes a batch CLI can shrug
+// off but a service cannot — panics, pathological inputs, deadline
+// storms, and overload — via three mechanisms:
+//
+//   - per-request isolation: every stage runs behind a recover
+//     boundary, so one poisoned request can never take the process
+//     down, and a typed solver-invariant violation (core.ErrInvariant)
+//     is an error, not a crash;
+//
+//   - a degradation ladder (ladder.go): full placement → no-hoist
+//     (STEAL_init) retry → atomic-at-consumption floor. The floor runs
+//     no dataflow solver and is trivially balanced, so every
+//     well-formed request ends in a statically verified placement;
+//
+//   - admission control: a bounded in-flight pool with a queue
+//     timeout sheds overload as 429s instead of queueing unboundedly,
+//     and request bodies are capped before JSON decoding.
+//
+// The chaos subpackage replays corpus and generated programs with
+// injected panics, corrupted solutions, malformed sources, and
+// 1ms deadlines to demonstrate all of the above under fire.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxInFlight    = 4
+	DefaultQueueTimeout   = 2 * time.Second
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxSteps       = 2_000_000
+	DefaultMaxSourceBytes = 1 << 20
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (":8075" style).
+	Addr string
+	// MaxInFlight bounds concurrently analyzed requests; excess waits.
+	MaxInFlight int
+	// QueueTimeout bounds how long an excess request waits for a slot
+	// before being shed with 429.
+	QueueTimeout time.Duration
+	// RequestTimeout caps each request's analysis wall clock; a
+	// client-supplied timeout_ms is clamped to it.
+	RequestTimeout time.Duration
+	// MaxSteps is the execution step budget for execute=true requests.
+	MaxSteps int64
+	// MaxSourceBytes caps the request body (413 beyond it).
+	MaxSourceBytes int64
+	// AllowChaos honors fault-injection fields on requests. Never set
+	// in production; the chaos harness sets it.
+	AllowChaos bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = DefaultQueueTimeout
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = DefaultMaxSteps
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = DefaultMaxSourceBytes
+	}
+	return c
+}
+
+// Server is the analysis service. Create with New, mount Handler (or
+// call ListenAndServe), and every POST /analyze gets a Response.
+type Server struct {
+	cfg      Config
+	sem      chan struct{}
+	inFlight atomic.Int64
+	served   atomic.Int64
+	shed     atomic.Int64
+	mux      *http.ServeMux
+}
+
+// New builds a Server from cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler with the outermost panic
+// boundary installed.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// net/http would recover too, but would kill the
+				// connection without a body; we owe every request a
+				// structured answer
+				writeJSON(w, http.StatusInternalServerError, &Response{
+					Error: fmt.Sprintf("internal panic: %v", rec), Code: "panic",
+				})
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// ListenAndServe runs the service until ctx is canceled, then shuts
+// down gracefully (in-flight requests get 5s to drain).
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	hs := &http.Server{Addr: s.cfg.Addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}
+
+// Health is the healthz payload.
+type Health struct {
+	OK          bool  `json:"ok"`
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+	Served      int64 `json:"served"`
+	Shed        int64 `json:"shed"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		OK:          true,
+		InFlight:    s.inFlight.Load(),
+		MaxInFlight: s.cfg.MaxInFlight,
+		Served:      s.served.Load(),
+		Shed:        s.shed.Load(),
+	})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, &Response{
+			Error: "POST only", Code: "method-not-allowed",
+		})
+		return
+	}
+
+	// admission: wait for an analysis slot, but not forever — overload
+	// degrades to fast structured 429s, not an unbounded queue
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-time.After(s.cfg.QueueTimeout):
+		s.shed.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, &Response{
+			Error: "server at capacity; retry later", Code: "overloaded",
+		})
+		return
+	case <-r.Context().Done():
+		return // client gone while queued; nothing to say to no one
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		status, code := http.StatusBadRequest, "bad-json"
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status, code = http.StatusRequestEntityTooLarge, "too-large"
+		}
+		writeJSON(w, status, &Response{Error: err.Error(), Code: code})
+		return
+	}
+	if int64(len(req.Source)) > s.cfg.MaxSourceBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, &Response{
+			Error: "source exceeds MaxSourceBytes", Code: "too-large",
+		})
+		return
+	}
+	if req.Chaos != nil && !s.cfg.AllowChaos {
+		writeJSON(w, http.StatusUnprocessableEntity, &Response{
+			Error: "chaos injection disabled on this server", Code: "chaos-disabled",
+		})
+		return
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	resp := s.Analyze(ctx, &req)
+	s.served.Add(1)
+	status := http.StatusOK
+	if !resp.OK {
+		switch resp.Code {
+		case "parse-error":
+			status = http.StatusUnprocessableEntity
+		case "canceled":
+			status = 499 // client closed request (nginx convention)
+		default:
+			status = http.StatusInternalServerError
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -19,6 +19,8 @@
 //	-mode check     statically verify C1–C3/O1 and lint the placement
 //	-mode serve     run the hardened HTTP analysis service (see -addr)
 //	-addr addr      listen address for -mode serve (default :8075)
+//	-workers N      engine worker pool size for -mode serve (0: GOMAXPROCS)
+//	-cache-mb N     result-cache budget in MiB for -mode serve (0: default, -1: off)
 //	-atomic         emit atomic READ/WRITE instead of Send/Recv halves
 //	-explain node   why communication is placed at that node (or "all")
 //	-trace out.json write a Chrome trace-event profile of the pipeline
@@ -81,6 +83,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	mode := fs.String("mode", "comm", "comm | graph | dump | pre | prefetch | run | stats | check | serve")
 	addr := fs.String("addr", ":8075", "listen address for -mode serve")
+	workers := fs.Int("workers", 0, "engine worker pool size for -mode serve (0: GOMAXPROCS)")
+	cacheMB := fs.Int64("cache-mb", 0, "result-cache budget in MiB for -mode serve (0: default, -1: off)")
 	atomic := fs.Bool("atomic", false, "emit atomic READ/WRITE instead of Send/Recv halves")
 	explain := fs.String("explain", "", "explain the placement at a node (preorder number, or \"all\")")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON profile to this file")
@@ -100,7 +104,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	if *mode == "serve" {
-		return runServe(*addr, stderr)
+		return runServe(*addr, *workers, *cacheMB, stderr)
 	}
 
 	// a recorder exists only when something will consume it; everywhere
@@ -160,11 +164,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 // runServe starts the hardened analysis service (internal/serve) and
 // blocks until SIGINT/SIGTERM, then shuts down gracefully, draining
 // in-flight requests.
-func runServe(addr string, stderr io.Writer) error {
+func runServe(addr string, workers int, cacheMB int64, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	s := serve.New(serve.Config{Addr: addr})
-	fmt.Fprintf(stderr, "gnt: serving on %s (POST /analyze, GET /healthz)\n", addr)
+	cacheBytes := cacheMB << 20
+	if cacheMB < 0 {
+		cacheBytes = -1
+	}
+	s := serve.New(serve.Config{Addr: addr, Workers: workers, CacheBytes: cacheBytes})
+	defer s.Close()
+	fmt.Fprintf(stderr, "gnt: serving on %s (POST /analyze, POST /batch, GET /healthz; %d workers)\n",
+		addr, s.Engine().Workers())
 	err := s.ListenAndServe(ctx)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil

@@ -6,13 +6,22 @@
 //
 // Usage:
 //
-//	gntbench [-out BENCH_obs.json] [-timeout 30s] dir [dir...]
+//	gntbench [-out BENCH_obs.json] [-timeout 30s] [-parallel N] dir [dir...]
 //
 // Each directory is walked recursively for *.f files. Every program
 // gets a wall-clock budget (-timeout, default 30s); a program that
 // exceeds it — or fails to parse, analyze, or verify — is recorded in
 // the artifact as a per-entry error instead of hanging or aborting the
 // whole corpus, and the run exits nonzero so CI still notices.
+//
+// With -parallel N the corpus additionally runs through the concurrent
+// analysis engine on N workers, twice — a cold pass (every program
+// misses the result cache and computes) and a warm pass (every program
+// hits) — and the artifact grows a "timing" block comparing serial and
+// parallel wall time plus the engine's cache counters. -assert-speedup
+// X fails the run when serial/parallel falls below X; CI uses it (with
+// tolerance below 1.0) to catch the parallel path regressing to slower
+// than serial.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 
 	"givetake/internal/check"
 	"givetake/internal/comm"
+	"givetake/internal/engine"
 	"givetake/internal/obs"
 
 	gt "givetake"
@@ -39,7 +49,10 @@ import (
 // plus the verifier work profile and finding counts per program.
 // v3 added the per-program wall-clock guard: entries may carry an
 // "error" field (with no report) instead of failing the whole run.
-const Schema = "gnt-bench/v3"
+// v4 added the parallel-engine comparison: a "timing" block (serial vs
+// parallel vs warm-cache corpus wall time) and the engine's cache
+// counters, present when -parallel is given.
+const Schema = "gnt-bench/v4"
 
 // DefaultTimeout is the per-program wall-clock budget.
 const DefaultTimeout = 30 * time.Second
@@ -47,6 +60,21 @@ const DefaultTimeout = 30 * time.Second
 type artifact struct {
 	Schema string  `json:"schema"`
 	Corpus []entry `json:"corpus"`
+	// Timing compares one serial corpus sweep against the engine's
+	// parallel sweep (cold: all cache misses) and a repeat sweep (warm:
+	// all cache hits). Speedup is serial over parallel cold wall time.
+	Timing *timing `json:"timing,omitempty"`
+	// Cache is the engine's cache counter snapshot after both sweeps;
+	// with a single cold+warm cycle the hit rate lands at 0.5.
+	Cache *engine.CacheStats `json:"cache,omitempty"`
+}
+
+type timing struct {
+	Parallel       int     `json:"parallel"`
+	SerialWallMS   float64 `json:"serial_wall_ms"`
+	ParallelWallMS float64 `json:"parallel_wall_ms"`
+	WarmWallMS     float64 `json:"warm_wall_ms"`
+	Speedup        float64 `json:"speedup"`
 }
 
 type entry struct {
@@ -60,18 +88,20 @@ type entry struct {
 func main() {
 	out := flag.String("out", "BENCH_obs.json", "output file (\"-\" for stdout)")
 	timeout := flag.Duration("timeout", DefaultTimeout, "per-program wall-clock budget")
+	parallel := flag.Int("parallel", 0, "also sweep the corpus through the engine on N workers (0 = serial only)")
+	assertSpeedup := flag.Float64("assert-speedup", 0, "fail unless serial/parallel wall time >= this (0 = no assertion)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "gntbench: no corpus directories given")
 		os.Exit(2)
 	}
-	if err := run(flag.Args(), *out, *timeout); err != nil {
+	if err := run(flag.Args(), *out, *timeout, *parallel, *assertSpeedup); err != nil {
 		fmt.Fprintln(os.Stderr, "gntbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dirs []string, out string, timeout time.Duration) error {
+func run(dirs []string, out string, timeout time.Duration, parallel int, assertSpeedup float64) error {
 	files, err := collect(dirs)
 	if err != nil {
 		return err
@@ -84,6 +114,7 @@ func run(dirs []string, out string, timeout time.Duration) error {
 	}
 	art := artifact{Schema: Schema}
 	failed := 0
+	serialStart := time.Now()
 	for _, file := range files {
 		rep, err := benchGuarded(file, timeout)
 		e := entry{File: filepath.ToSlash(file), Report: rep}
@@ -94,6 +125,19 @@ func run(dirs []string, out string, timeout time.Duration) error {
 			fmt.Fprintf(os.Stderr, "gntbench: %s: %v\n", file, err)
 		}
 		art.Corpus = append(art.Corpus, e)
+	}
+	serialWall := time.Since(serialStart)
+
+	if parallel > 0 {
+		tm, cs, err := benchParallel(files, parallel, timeout, serialWall)
+		if err != nil {
+			return err
+		}
+		art.Timing, art.Cache = tm, cs
+		if assertSpeedup > 0 && tm.Speedup < assertSpeedup {
+			return fmt.Errorf("parallel sweep too slow: speedup %.2f < required %.2f (serial %.1fms, parallel %.1fms)",
+				tm.Speedup, assertSpeedup, tm.SerialWallMS, tm.ParallelWallMS)
+		}
 	}
 	b, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -209,4 +253,89 @@ func bench(ctx context.Context, file string) (*obs.Report, error) {
 	}
 	rep.Extra = map[string]json.RawMessage{"check": checkExtra}
 	return rep, nil
+}
+
+// benchParallel sweeps the corpus through the concurrent engine twice:
+// a cold pass where every program misses the result cache and runs the
+// task-parallel pipeline (READ and WRITE halves solving concurrently,
+// fan-out bounded by the worker count), then a warm pass where every
+// program is served stored bytes. Any per-program failure fails the
+// sweep — the serial pass already proved the corpus analyzes, so a
+// parallel-only failure is an engine bug, not a corpus problem.
+func benchParallel(files []string, workers int, timeout time.Duration, serialWall time.Duration) (*timing, *engine.CacheStats, error) {
+	e := engine.New(engine.Config{Workers: workers})
+	defer e.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout*time.Duration(len(files)))
+	defer cancel()
+
+	sources := make([]string, len(files))
+	for i, file := range files {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		sources[i] = string(b)
+	}
+
+	sweep := func() (time.Duration, error) {
+		errs := make([]error, len(files))
+		start := time.Now()
+		e.Map(ctx, len(files), func(ctx context.Context, i int) {
+			key := engine.CacheKey(sources[i], comm.Opts{})
+			_, _, err := e.Do(ctx, key, func(ctx context.Context) (engine.Cached, bool, error) {
+				prog, err := gt.Parse(sources[i])
+				if err != nil {
+					return engine.Cached{}, false, err
+				}
+				res, err := e.Analyze(ctx, engine.Job{Prog: prog})
+				if err != nil {
+					return engine.Cached{}, false, err
+				}
+				defer res.Release()
+				if !res.Check.Ok() {
+					return engine.Cached{}, false, fmt.Errorf("verification failed: %s", res.Check.Errors()[0])
+				}
+				body, err := json.Marshal(struct {
+					Annotated string `json:"annotated"`
+					Warnings  int    `json:"warnings"`
+				}{res.Analysis.AnnotatedSource(comm.DefaultOptions), len(res.Check.Warnings())})
+				if err != nil {
+					return engine.Cached{}, false, err
+				}
+				return engine.Cached{Status: 200, Body: body}, true, nil
+			})
+			errs[i] = err
+		})
+		for i, err := range errs {
+			if err != nil {
+				return 0, fmt.Errorf("%s: %w", files[i], err)
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	coldWall, err := sweep()
+	if err != nil {
+		return nil, nil, fmt.Errorf("parallel cold sweep: %w", err)
+	}
+	warmWall, err := sweep()
+	if err != nil {
+		return nil, nil, fmt.Errorf("parallel warm sweep: %w", err)
+	}
+
+	cs := e.Stats().Cache
+	tm := &timing{
+		Parallel:       e.Workers(),
+		SerialWallMS:   float64(serialWall.Microseconds()) / 1000,
+		ParallelWallMS: float64(coldWall.Microseconds()) / 1000,
+		WarmWallMS:     float64(warmWall.Microseconds()) / 1000,
+	}
+	if coldWall > 0 {
+		tm.Speedup = float64(serialWall) / float64(coldWall)
+	}
+	if cs.Hits != int64(len(files)) || cs.Misses != int64(len(files)) {
+		return nil, nil, fmt.Errorf("cache counters off: %d hits %d misses, want %d each (single-flight or keying bug)",
+			cs.Hits, cs.Misses, len(files))
+	}
+	return tm, &cs, nil
 }

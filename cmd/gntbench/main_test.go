@@ -12,7 +12,7 @@ import (
 
 func TestBenchArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run([]string{"../../testdata"}, out, DefaultTimeout); err != nil {
+	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -75,8 +75,42 @@ func TestBenchArtifact(t *testing.T) {
 	}
 }
 
+// TestBenchParallelSweep: -parallel adds the v4 timing block with the
+// cache counters proving the warm pass was served entirely from cache.
+func TestBenchParallelSweep(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(b, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Timing == nil || art.Cache == nil {
+		t.Fatal("parallel run must emit timing and cache sections")
+	}
+	if art.Timing.Parallel != 4 || art.Timing.ParallelWallMS <= 0 || art.Timing.SerialWallMS <= 0 {
+		t.Fatalf("timing block incomplete: %+v", art.Timing)
+	}
+	n := int64(len(art.Corpus))
+	if art.Cache.Misses != n || art.Cache.Hits != n {
+		t.Fatalf("cache counters = %+v, want %d hits and misses", art.Cache, n)
+	}
+	if got := art.Cache.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5 after one cold and one warm sweep", got)
+	}
+	// an impossible bar must fail the run
+	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 4, 1e9); err == nil {
+		t.Fatal("-assert-speedup 1e9 should fail")
+	}
+}
+
 func TestBenchNoCorpus(t *testing.T) {
-	if err := run([]string{t.TempDir()}, filepath.Join(t.TempDir(), "x.json"), DefaultTimeout); err == nil {
+	if err := run([]string{t.TempDir()}, filepath.Join(t.TempDir(), "x.json"), DefaultTimeout, 0, 0); err == nil {
 		t.Fatal("empty corpus should error")
 	}
 }
@@ -92,7 +126,7 @@ func TestBenchTimeoutRecorded(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "bench.json")
-	err := run([]string{dir}, out, 1)
+	err := run([]string{dir}, out, 1, 0, 0)
 	if err == nil {
 		t.Fatal("timed-out corpus should make run return an error")
 	}

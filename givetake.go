@@ -27,6 +27,7 @@ import (
 	"givetake/internal/check"
 	"givetake/internal/comm"
 	"givetake/internal/core"
+	"givetake/internal/engine"
 	"givetake/internal/frontend"
 	"givetake/internal/interp"
 	"givetake/internal/interval"
@@ -288,6 +289,47 @@ func GenerateCommOpts(ctx context.Context, p *Program, col Collector, opt CommOp
 // degradation ladder.
 func AtomicFallbackComm(p *Program, col Collector) (*CommGen, error) {
 	return comm.AtomicFallback(p, col)
+}
+
+// Concurrent analysis engine ---------------------------------------------
+
+// Engine schedules analysis pipelines over a bounded worker pool: the
+// independent READ and WRITE halves of each request solve in parallel
+// on arena-backed bit-vector slabs, repeated requests are served from a
+// content-addressed LRU result cache with single-flight deduplication,
+// and batches fan out with fan-out bounded by the worker count.
+type Engine = engine.Engine
+
+// EngineConfig parameterizes an Engine: worker count, cache byte
+// budget, and an optional counter collector.
+type EngineConfig = engine.Config
+
+// EngineStats is an Engine's observable state: pool task/panic and
+// admission counters plus cache hit/miss/follower/eviction counters.
+type EngineStats = engine.Stats
+
+// EngineJob is one analysis to schedule on an Engine.
+type EngineJob = engine.Job
+
+// EngineResult is one completed engine analysis; its solutions alias
+// leased arena memory — call Release after rendering.
+type EngineResult = engine.Result
+
+// BatchItem and BatchResult are the inputs and ordered outcomes of
+// Engine.AnalyzeBatch.
+type (
+	BatchItem   = engine.BatchItem
+	BatchResult = engine.BatchResult
+)
+
+// NewEngine builds an engine and starts its workers.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// CacheKey derives the content address of one analysis request — a
+// SHA-256 over a versioned canonical encoding of source, options, and
+// caller extras. Identical keys are guaranteed byte-identical results.
+func CacheKey(source string, opt CommOpts, extra ...string) string {
+	return engine.CacheKey(source, opt, extra...)
 }
 
 // Analysis service --------------------------------------------------------

@@ -1,0 +1,56 @@
+package bitset
+
+import "testing"
+
+func TestArenaCarveAndReset(t *testing.T) {
+	var a Arena
+	s1 := a.NewSlice(3, 130)
+	for _, s := range s1 {
+		if s.Len() != 130 || s.Count() != 0 {
+			t.Fatalf("carved set not empty: %v", s)
+		}
+	}
+	s1[0].Add(5)
+	s1[2].Add(129)
+
+	// first cycle spilled (buffer started empty); Reset grows it
+	if a.Footprint() == 0 {
+		t.Fatal("arena should have recorded demand")
+	}
+	a.Reset()
+	before := a.Footprint()
+
+	// same-shape second cycle: no spill, stale bits cleared
+	s2 := a.NewSlice(3, 130)
+	if a.Footprint() != before {
+		t.Fatalf("same-shape cycle grew arena: %d -> %d", before, a.Footprint())
+	}
+	for i, s := range s2 {
+		if s.Count() != 0 {
+			t.Fatalf("slab %d not cleared after Reset: %v", i, s)
+		}
+	}
+
+	// larger cycle spills, then fits after the next Reset
+	a.Reset()
+	a.NewSlice(10, 1000)
+	a.Reset()
+	grown := a.Footprint()
+	a.NewSlice(10, 1000)
+	a.Reset()
+	if a.Footprint() != grown {
+		t.Fatalf("repeated same-shape cycle should not grow: %d -> %d", grown, a.Footprint())
+	}
+}
+
+func TestArenaNilFallsBack(t *testing.T) {
+	var a *Arena
+	sets := a.NewSlice(2, 64)
+	if len(sets) != 2 || sets[0].Len() != 64 {
+		t.Fatalf("nil arena fallback broken: %v", sets)
+	}
+	a.Reset() // must not panic
+	if a.Footprint() != 0 {
+		t.Fatal("nil arena has no footprint")
+	}
+}

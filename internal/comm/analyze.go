@@ -193,6 +193,26 @@ func build(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis
 // point the serve degradation ladder drives: rung 1 passes the zero
 // Opts, rung 2 retries with SuppressHoist.
 func AnalyzeOpts(ctx context.Context, prog *ir.Program, ocol obs.Collector, opt Opts) (*Analysis, error) {
+	a, err := Build(ctx, prog, ocol, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.SolveRead(ctx, ocol, nil); err != nil {
+		return nil, err
+	}
+	if err := a.SolveWrite(ctx, ocol, nil); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Build runs the solver-free front half of the pipeline and applies the
+// analysis options, leaving an Analysis ready for SolveRead and
+// SolveWrite. The two solves share no mutable state beyond this point —
+// SolveRead touches only Read, SolveWrite only RevGraph and Write, and
+// neither mutates the graph — so a scheduler may run them as concurrent
+// tasks (internal/engine does).
+func Build(ctx context.Context, prog *ir.Program, ocol obs.Collector, opt Opts) (*Analysis, error) {
 	a, err := build(ctx, prog, ocol)
 	if err != nil {
 		return nil, err
@@ -204,32 +224,46 @@ func AnalyzeOpts(ctx context.Context, prog *ir.Program, ocol obs.Collector, opt 
 			}
 		}
 	}
-	u := a.Universe.Size()
+	return a, nil
+}
+
+// SolveRead solves the READ/BEFORE placement problem on the forward
+// graph. A non-nil arena backs the solution's slabs (core.SolveIn);
+// the solution then aliases it and dies with its next Reset.
+func (a *Analysis) SolveRead(ctx context.Context, ocol obs.Collector, ar *bitset.Arena) error {
 	end := obs.Begin(ocol, "solve-read")
-	a.Read, err = core.SolveCtx(ctx, a.Graph, u, a.ReadInit)
+	read, err := core.SolveIn(ctx, a.Graph, a.Universe.Size(), a.ReadInit, ar)
 	if err != nil {
 		end()
-		return nil, err
+		return err
 	}
-	end("eq-evals", a.Read.EquationEvals, "set-ops", a.Read.Stats.SetOps)
+	a.Read = read
+	end("eq-evals", read.EquationEvals, "set-ops", read.Stats.SetOps)
+	return nil
+}
 
-	end = obs.Begin(ocol, "reverse-graph")
+// SolveWrite reverses the graph and solves the WRITE/AFTER placement
+// problem on it. Independent of SolveRead: interval.Reverse clones the
+// nodes it reads, so the two solves may run concurrently.
+func (a *Analysis) SolveWrite(ctx context.Context, ocol obs.Collector, ar *bitset.Arena) error {
+	end := obs.Begin(ocol, "reverse-graph")
 	rev, err := interval.Reverse(a.Graph)
 	if err != nil {
 		end()
-		return nil, err
+		return err
 	}
 	a.RevGraph = rev
 	end()
 
 	end = obs.Begin(ocol, "solve-write")
-	a.Write, err = core.SolveCtx(ctx, rev, u, a.WriteInit)
+	write, err := core.SolveIn(ctx, rev, a.Universe.Size(), a.WriteInit, ar)
 	if err != nil {
 		end()
-		return nil, err
+		return err
 	}
-	end("eq-evals", a.Write.EquationEvals, "set-ops", a.Write.Stats.SetOps)
-	return a, nil
+	a.Write = write
+	end("eq-evals", write.EquationEvals, "set-ops", write.Stats.SetOps)
+	return nil
 }
 
 // AtomicFallback builds the bottom rung of the degradation ladder: the

@@ -58,10 +58,7 @@ func (a *Analysis) CheckPlacementCtx(ctx context.Context, col obs.Collector) (*c
 		end()
 		return nil, err
 	}
-	for _, p := range probs {
-		res.Diagnostics = append(res.Diagnostics, check.Lint(p)...)
-	}
-	res.Diagnostics = append(res.Diagnostics, a.lintDeadArrays()...)
+	res.Diagnostics = append(res.Diagnostics, a.Lints(probs)...)
 	res.Sort()
 	contexts, iterations := 0, 0
 	for _, s := range res.Stats {
@@ -71,6 +68,18 @@ func (a *Analysis) CheckPlacementCtx(ctx context.Context, col obs.Collector) (*c
 	end("errors", len(res.Errors()), "warnings", len(res.Warnings()),
 		"contexts", contexts, "iterations", iterations)
 	return res, nil
+}
+
+// Lints runs the communication linter over the solved problems plus
+// the whole-program lints, without the static verify itself — callers
+// that schedule the per-problem verifications as concurrent tasks
+// (internal/engine) merge those results first and append these.
+func (a *Analysis) Lints(probs []*check.Problem) []check.Diagnostic {
+	var out []check.Diagnostic
+	for _, p := range probs {
+		out = append(out, check.Lint(p)...)
+	}
+	return append(out, a.lintDeadArrays()...)
 }
 
 // lintDeadArrays flags distributed arrays that no statement ever

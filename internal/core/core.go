@@ -230,7 +230,16 @@ func MustSolve(g *interval.Graph, universe int, init *Init) *Solution {
 // consistent — the solver polls ctx and abandons the solve with
 // ctx.Err(). The check is a single channel poll per node, so an
 // uncancelable context costs nothing measurable.
-func SolveCtx(ctx context.Context, g *interval.Graph, universe int, init *Init) (sol *Solution, err error) {
+func SolveCtx(ctx context.Context, g *interval.Graph, universe int, init *Init) (*Solution, error) {
+	return SolveIn(ctx, g, universe, init, nil)
+}
+
+// SolveIn is SolveCtx with slab reuse: when ar is non-nil every
+// per-node set slab is carved from it instead of freshly allocated,
+// so a worker that leases one arena per solve keeps its steady-state
+// allocation flat across requests. The returned Solution aliases the
+// arena's buffer and must not be used after the arena is Reset.
+func SolveIn(ctx context.Context, g *interval.Graph, universe int, init *Init, ar *bitset.Arena) (sol *Solution, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			inv, ok := r.(*InvariantError)
@@ -262,9 +271,10 @@ func SolveCtx(ctx context.Context, g *interval.Graph, universe int, init *Init) 
 		s.evals[grp] = make([]uint8, n)
 	}
 	// one slab per variable keeps the per-node sets contiguous and the
-	// allocation count independent of graph size
+	// allocation count independent of graph size; an arena additionally
+	// reuses the words across solves
 	alloc := func() []*bitset.Set {
-		return bitset.NewSlice(n, universe)
+		return ar.NewSlice(n, universe)
 	}
 	s.Steal, s.Give, s.Block = alloc(), alloc(), alloc()
 	s.TakenOut, s.Take, s.TakenIn = alloc(), alloc(), alloc()

@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"givetake/internal/comm"
+	"givetake/internal/obs"
+)
+
+// Cached is one content-addressed result: the rendered response bytes
+// plus the transport status they were served with. The engine treats it
+// as opaque — byte-identity between a cold miss, a warm hit, and a
+// single-flight follower is guaranteed because all three read the same
+// stored bytes.
+type Cached struct {
+	Status int
+	Body   []byte
+}
+
+// size is the accounting weight of one entry against the cache's byte
+// bound: body plus key plus bookkeeping overhead.
+func (c Cached) size(key string) int64 { return int64(len(c.Body)) + int64(len(key)) + 64 }
+
+// CacheSource reports how a Do call obtained its result.
+type CacheSource string
+
+const (
+	// CacheMiss: this call led the single-flight group and computed.
+	CacheMiss CacheSource = "miss"
+	// CacheHit: the stored bytes were returned without computing.
+	CacheHit CacheSource = "hit"
+	// CacheFollow: an identical request was already in flight; this
+	// call waited and shared its bytes.
+	CacheFollow CacheSource = "follow"
+	// CacheBypass: the request was not cacheable (e.g. chaos injection)
+	// and was computed outside the cache and single-flight group.
+	CacheBypass CacheSource = "bypass"
+)
+
+// CacheKey derives the content address of one analysis request: a
+// SHA-256 over a versioned, canonical encoding of the source text, the
+// canonicalized analysis options, and any caller extras (execution
+// parameters, request timeouts — anything that can change the rendered
+// bytes). Invalidation is purely generational: keys never alias across
+// schema versions because the version tag is hashed in, and a binary
+// whose output format changes must bump cacheKeyVersion.
+func CacheKey(source string, opt comm.Opts, extra ...string) string {
+	h := sha256.New()
+	io.WriteString(h, cacheKeyVersion)
+	// comm.Opts is canonicalized field by field; adding a field to Opts
+	// must extend this encoding or stale entries would alias.
+	fmt.Fprintf(h, "\x00suppress_hoist=%t", opt.SuppressHoist)
+	for _, x := range extra {
+		fmt.Fprintf(h, "\x00%d:", len(x))
+		io.WriteString(h, x)
+	}
+	fmt.Fprintf(h, "\x00src:%d:", len(source))
+	io.WriteString(h, source)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+const cacheKeyVersion = "gnt-engine/v1"
+
+// CacheStats is a point-in-time snapshot of the result cache.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Followers int64 `json:"followers"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// HitRate is hits/(hits+misses), 0 when nothing was looked up.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// cache is a byte-bounded LRU over Cached values. A nil cache (caching
+// disabled) tolerates every method and stores nothing.
+type cache struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	ll    *list.List // front = most recent
+	idx   map[string]*list.Element
+
+	hits, misses, followers, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val Cached
+}
+
+func newCache(maxBytes int64) *cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &cache{max: maxBytes, ll: list.New(), idx: map[string]*list.Element{}}
+}
+
+func (c *cache) get(key string) (Cached, bool) {
+	if c == nil {
+		return Cached{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		return Cached{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores val unless it alone exceeds the byte bound, evicting from
+// the LRU tail until the bound holds again. Returns how many entries
+// were evicted to make room.
+func (c *cache) put(key string, val Cached) (evicted int64) {
+	if c == nil {
+		return 0
+	}
+	sz := val.size(key)
+	if sz > c.max {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		// a racing leader already stored it; refresh recency only (the
+		// bytes are equivalent by key construction)
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.bytes += sz
+	for c.bytes > c.max {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.idx, ent.key)
+		c.bytes -= ent.val.size(ent.key)
+		c.evictions++
+		evicted++
+	}
+	return evicted
+}
+
+func (c *cache) snapshot() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Followers: c.followers,
+		Evictions: c.evictions, Entries: c.ll.Len(), Bytes: c.bytes,
+		MaxBytes: c.max,
+	}
+}
+
+// flight is one in-progress computation that followers wait on.
+type flight struct {
+	done chan struct{}
+	val  Cached
+	err  error
+}
+
+// Do returns the content-addressed result for key: from the cache when
+// stored, from an identical in-flight computation when one exists
+// (single-flight — a thundering herd of identical requests costs one
+// compute), or by running compute as the group leader. compute's second
+// result reports whether its value is deterministic and may be stored;
+// non-cacheable values still dedup concurrent identical requests.
+//
+// A follower whose leader was canceled does not inherit the
+// cancellation: it retries and becomes the next leader, so one
+// impatient client cannot fail the herd behind it.
+func (e *Engine) Do(ctx context.Context, key string, compute func(context.Context) (Cached, bool, error)) (Cached, CacheSource, error) {
+	for {
+		if val, ok := e.cache.get(key); ok {
+			obs.Count(e.cfg.Collector, obs.CounterCacheHit, 1)
+			return val, CacheHit, nil
+		}
+		e.mu.Lock()
+		if fl, ok := e.flights[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return Cached{}, CacheFollow, ctx.Err()
+			}
+			if fl.err != nil && isContextErr(fl.err) && ctx.Err() == nil {
+				continue // leader was canceled, not us: take over
+			}
+			if e.cache != nil {
+				e.cache.mu.Lock()
+				e.cache.followers++
+				e.cache.mu.Unlock()
+			}
+			obs.Count(e.cfg.Collector, obs.CounterCacheFollow, 1)
+			return fl.val, CacheFollow, fl.err
+		}
+		fl := &flight{done: make(chan struct{})}
+		e.flights[key] = fl
+		e.mu.Unlock()
+
+		val, cacheable, err := compute(ctx)
+		fl.val, fl.err = val, err
+
+		e.mu.Lock()
+		delete(e.flights, key)
+		e.mu.Unlock()
+		close(fl.done)
+
+		if err == nil && cacheable {
+			if n := e.cache.put(key, val); n > 0 {
+				obs.Count(e.cfg.Collector, obs.CounterCacheEvict, n)
+			}
+		}
+		if e.cache != nil {
+			e.cache.mu.Lock()
+			e.cache.misses++
+			e.cache.mu.Unlock()
+		}
+		obs.Count(e.cfg.Collector, obs.CounterCacheMiss, 1)
+		return val, CacheMiss, err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,381 @@
+// Package engine is the concurrent analysis engine behind the serving
+// and batch paths: it turns the sequential GIVE-N-TAKE pipeline into
+// schedulable tasks and runs the independent halves of each request in
+// parallel.
+//
+// The task decomposition follows the data dependences of the pipeline
+// (comm.Build documents why the halves are independent):
+//
+//	cfg-build ──┬── READ/BEFORE solve ───── verify READ ──┬── merge
+//	            └── reverse + WRITE solve ─ verify WRITE ─┘
+//
+// Three mechanisms make the engine production-shaped:
+//
+//   - a bounded worker pool with panic isolation: leaf tasks (solves,
+//     verifications) run on a fixed set of workers, a panicking task is
+//     returned as a structured *PanicError, and per-task bit-vector
+//     slabs are carved from leased bitset.Arena buffers so steady-state
+//     allocation stays flat across requests;
+//
+//   - a content-addressed result cache: rendered response bytes keyed
+//     by SHA-256 of source + canonicalized options (CacheKey), bounded
+//     in bytes with LRU eviction, with single-flight deduplication so a
+//     thundering herd of identical requests costs one analysis;
+//
+//   - a batch path: AnalyzeBatch and Map fan independent programs out
+//     over the pool, so corpus throughput scales with cores instead of
+//     being pinned to one sequential pipeline.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"givetake/internal/bitset"
+	"givetake/internal/check"
+	"givetake/internal/comm"
+	"givetake/internal/frontend"
+	"givetake/internal/ir"
+	"givetake/internal/obs"
+)
+
+// DefaultCacheBytes bounds the result cache when Config.CacheBytes is
+// zero.
+const DefaultCacheBytes int64 = 32 << 20
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the size of the leaf-task pool and the fan-out bound
+	// of Map/AnalyzeBatch; zero means GOMAXPROCS.
+	Workers int
+	// CacheBytes bounds the result cache; zero means DefaultCacheBytes,
+	// negative disables caching (single-flight still dedups).
+	CacheBytes int64
+	// Collector receives engine-level counters (cache hit/miss/evict,
+	// pool tasks/panics); nil records nothing.
+	Collector obs.Collector
+}
+
+// Engine schedules analysis pipelines over a worker pool and serves
+// repeated requests from a content-addressed cache. Create with New;
+// an Engine is safe for concurrent use and runs until Close.
+type Engine struct {
+	cfg    Config
+	tasks  chan func()
+	wg     sync.WaitGroup
+	arenas sync.Pool
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	cache   *cache
+
+	tasksRun   atomic.Int64
+	taskPanics atomic.Int64
+	admitWon   atomic.Int64
+	admitShed  atomic.Int64
+	closed     atomic.Bool
+}
+
+// New builds an Engine and starts its workers.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	e := &Engine{
+		cfg:     cfg,
+		tasks:   make(chan func()),
+		flights: map[string]*flight{},
+		cache:   newCache(cfg.CacheBytes),
+	}
+	e.arenas.New = func() any { return new(bitset.Arena) }
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the workers after draining queued tasks. Only useful in
+// tests; a serving engine lives for the process.
+func (e *Engine) Close() {
+	if e.closed.CompareAndSwap(false, true) {
+		close(e.tasks)
+		e.wg.Wait()
+	}
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for fn := range e.tasks {
+		fn()
+	}
+}
+
+// PanicError is a leaf-task panic converted to an error at the pool
+// boundary, so one poisoned request degrades instead of killing the
+// process. The serving layer maps it to a "panic" ladder outcome.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("recovered panic: %v", p.Value) }
+
+// run executes fn on the pool and waits for it, capturing panics.
+func (e *Engine) run(fn func() error) error {
+	done := make(chan error, 1)
+	e.tasks <- func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.taskPanics.Add(1)
+				obs.Count(e.cfg.Collector, obs.CounterPoolPanic, 1)
+				done <- &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		e.tasksRun.Add(1)
+		obs.Count(e.cfg.Collector, obs.CounterPoolTask, 1)
+		done <- fn()
+	}
+	return <-done
+}
+
+// parallel runs every fn as a pool task, waits for all, and returns the
+// first error in argument order (errors never hide behind a later nil).
+func (e *Engine) parallel(fns ...func() error) error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for i, fn := range fns {
+		i, fn := i, fn
+		go func() {
+			defer wg.Done()
+			errs[i] = e.run(fn)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Job is one analysis to schedule.
+type Job struct {
+	// Prog is the parsed, checked program.
+	Prog *ir.Program
+	// Opts tunes the placement analysis (rung 2 of the serve ladder
+	// sets SuppressHoist).
+	Opts comm.Opts
+	// Collector receives the pipeline's stage spans; nil records
+	// nothing. Concurrent stages may interleave their spans.
+	Collector obs.Collector
+	// PostSolve, when non-nil, runs on the calling goroutine after both
+	// solves join and before verification — the hook the chaos harness
+	// uses to corrupt solutions. A panic inside it propagates to the
+	// caller (after the job's arenas are released).
+	PostSolve func(*comm.Analysis)
+}
+
+// Result is one completed analysis: the solved placements and their
+// merged static verification. Its solutions alias arena memory leased
+// from the engine — call Release when done with Analysis (typically
+// after rendering a response) to return the slabs; using Analysis
+// after Release is a data race with the next request.
+type Result struct {
+	Analysis *comm.Analysis
+	Check    *check.Result
+
+	eng      *Engine
+	arenas   []*bitset.Arena
+	released bool
+}
+
+// Release returns the result's arenas to the engine pool. Idempotent;
+// nil-safe.
+func (r *Result) Release() {
+	if r == nil || r.released || r.eng == nil {
+		return
+	}
+	r.released = true
+	for _, ar := range r.arenas {
+		ar.Reset()
+		r.eng.arenas.Put(ar)
+	}
+	r.arenas = nil
+}
+
+// Analyze runs one pipeline with its independent halves in parallel:
+// after the sequential front half (comm.Build), the READ solve and the
+// reversed-graph WRITE solve run as concurrent pool tasks, then the
+// static verification of each solved problem runs as concurrent pool
+// tasks, and the results merge with the linter's findings. The merged
+// Check result is ordering-identical to the sequential
+// comm.CheckPlacementCtx (check.Merge sorts).
+func (e *Engine) Analyze(ctx context.Context, job Job) (res *Result, err error) {
+	col := job.Collector
+	end := obs.Begin(col, obs.SpanEngineAnalyze)
+	defer func() {
+		if err != nil {
+			res.Release()
+			res = nil
+		}
+		end()
+	}()
+
+	a, aerr := comm.Build(ctx, job.Prog, col, job.Opts)
+	if aerr != nil {
+		return nil, aerr
+	}
+	res = &Result{
+		Analysis: a,
+		eng:      e,
+		arenas:   []*bitset.Arena{e.arenas.Get().(*bitset.Arena), e.arenas.Get().(*bitset.Arena)},
+	}
+	defer func() {
+		// PostSolve (and nothing else here) may panic through us; don't
+		// leak the leased arenas when it does
+		if r := recover(); r != nil {
+			res.Release()
+			res = nil
+			panic(r)
+		}
+	}()
+	if err := e.parallel(
+		func() error { return a.SolveRead(ctx, col, res.arenas[0]) },
+		func() error { return a.SolveWrite(ctx, col, res.arenas[1]) },
+	); err != nil {
+		return res, err // the deferred cleanup releases and nils res
+	}
+	if job.PostSolve != nil {
+		job.PostSolve(a)
+	}
+
+	vend := obs.Begin(col, obs.SpanEngineVerify)
+	probs := a.Problems()
+	partial := make([]*check.Result, len(probs))
+	fns := make([]func() error, len(probs))
+	for i, p := range probs {
+		i, p := i, p
+		fns[i] = func() error {
+			r, err := check.VerifyCtx(ctx, p)
+			partial[i] = r
+			return err
+		}
+	}
+	if err := e.parallel(fns...); err != nil {
+		vend()
+		return res, err // the deferred cleanup releases and nils res
+	}
+	cr := check.Merge(partial...)
+	cr.Diagnostics = append(cr.Diagnostics, a.Lints(probs)...)
+	cr.Sort()
+	res.Check = cr
+	vend("errors", len(cr.Errors()), "warnings", len(cr.Warnings()))
+	return res, nil
+}
+
+// Map runs f for every index in [0, n) with fan-out bounded by the
+// worker count. Bodies run on dedicated goroutines — not pool workers —
+// so they may themselves schedule pool tasks (Analyze) without
+// deadlocking the pool. Map returns when every body has.
+func (e *Engine) Map(ctx context.Context, n int, f func(ctx context.Context, i int)) {
+	sem := make(chan struct{}, e.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// BatchItem is one program of a batch.
+type BatchItem struct {
+	Source string
+	Opts   comm.Opts
+}
+
+// BatchResult pairs one batch item with its outcome. Res carries leased
+// arenas; the caller must Release each non-nil Res.
+type BatchResult struct {
+	Res *Result
+	Err error
+}
+
+// AnalyzeBatch parses and analyzes the items concurrently (fan-out
+// bounded by the worker count) and returns outcomes in item order. Each
+// item gets the full parallel pipeline including static verification;
+// per-item failures land in their slot instead of failing the batch.
+func (e *Engine) AnalyzeBatch(ctx context.Context, items []BatchItem, col obs.Collector) []BatchResult {
+	out := make([]BatchResult, len(items))
+	e.Map(ctx, len(items), func(ctx context.Context, i int) {
+		prog, err := frontend.Parse(items[i].Source)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Res, out[i].Err = e.Analyze(ctx, Job{Prog: prog, Opts: items[i].Opts, Collector: col})
+	})
+	return out
+}
+
+// PoolStats is a point-in-time snapshot of the worker pool and the
+// admission accounting the serving layer reports into it.
+type PoolStats struct {
+	Workers       int   `json:"workers"`
+	Tasks         int64 `json:"tasks"`
+	Panics        int64 `json:"panics"`
+	AdmissionWon  int64 `json:"admission_won"`
+	AdmissionShed int64 `json:"admission_shed"`
+}
+
+// Stats is the engine's observable state, rendered by /healthz.
+type Stats struct {
+	Pool  PoolStats  `json:"pool"`
+	Cache CacheStats `json:"cache"`
+}
+
+// Stats snapshots the pool and cache counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Pool: PoolStats{
+			Workers: e.cfg.Workers,
+			Tasks:   e.tasksRun.Load(),
+			Panics:  e.taskPanics.Load(),
+
+			AdmissionWon:  e.admitWon.Load(),
+			AdmissionShed: e.admitShed.Load(),
+		},
+		Cache: e.cache.snapshot(),
+	}
+}
+
+// NoteAdmission records one admission-queue outcome: won (a request got
+// an analysis slot) or shed (it timed out of the queue). The serving
+// layer calls this so slot accounting lives with the pool stats it
+// gates.
+func (e *Engine) NoteAdmission(won bool) {
+	if won {
+		e.admitWon.Add(1)
+		obs.Count(e.cfg.Collector, obs.CounterAdmitWon, 1)
+	} else {
+		e.admitShed.Add(1)
+		obs.Count(e.cfg.Collector, obs.CounterAdmitShed, 1)
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+// Canonical span and counter names of the concurrent analysis engine
+// (internal/engine). They live here, next to the pipeline's own span
+// names, so every consumer of a Report or trace matches on one
+// vocabulary instead of scattered string literals.
+const (
+	// SpanEngineAnalyze wraps one engine-scheduled analysis: build →
+	// {solve-read ∥ solve-write} → {check ∥ check} → merge. The comm
+	// stage spans (cfg-build, solve-read, ...) nest inside it.
+	SpanEngineAnalyze = "engine.analyze"
+	// SpanEngineVerify wraps the parallel static-verification stage of
+	// one engine-scheduled analysis.
+	SpanEngineVerify = "engine.verify"
+
+	// CounterCacheHit counts result-cache hits (a stored byte-identical
+	// response was returned without any analysis work).
+	CounterCacheHit = "engine.cache.hit"
+	// CounterCacheMiss counts result-cache misses (the request led its
+	// single-flight group and computed the result).
+	CounterCacheMiss = "engine.cache.miss"
+	// CounterCacheFollow counts single-flight followers (the request
+	// waited on an identical in-flight computation and shared its
+	// bytes).
+	CounterCacheFollow = "engine.cache.follow"
+	// CounterCacheEvict counts LRU evictions forced by the cache's byte
+	// bound.
+	CounterCacheEvict = "engine.cache.evict"
+	// CounterPoolTask counts tasks executed by the engine's worker
+	// pool.
+	CounterPoolTask = "engine.pool.task"
+	// CounterPoolPanic counts tasks that panicked and were converted to
+	// structured errors by the pool's isolation boundary.
+	CounterPoolPanic = "engine.pool.panic"
+	// CounterAdmitWon / CounterAdmitShed count admission-queue outcomes
+	// reported by the serving layer: requests that won an analysis slot
+	// versus requests shed on queue timeout.
+	CounterAdmitWon  = "engine.admission.won"
+	CounterAdmitShed = "engine.admission.shed"
+)

@@ -11,6 +11,7 @@ import (
 	"givetake/internal/check/mutate"
 	"givetake/internal/comm"
 	"givetake/internal/core"
+	"givetake/internal/engine"
 	"givetake/internal/frontend"
 	"givetake/internal/interp"
 	"givetake/internal/ir"
@@ -176,6 +177,27 @@ func stage(f func() (*comm.Analysis, error)) (a *comm.Analysis, err error, panic
 	return a, err, false
 }
 
+// stageEngine is stage for the engine-scheduled rungs: it isolates
+// panics that unwind on this goroutine (chaos injection, the PostSolve
+// hook re-raised by engine.Analyze), while panics inside pool tasks
+// arrive already converted to *engine.PanicError.
+func stageEngine(f func() (*engine.Result, error)) (res *engine.Result, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err, panicked = nil, fmt.Errorf("recovered panic: %v", r), true
+		}
+	}()
+	res, err = f()
+	return res, err, false
+}
+
+// isPanicErr reports whether err is a pool-task panic surfaced by the
+// engine's isolation boundary.
+func isPanicErr(err error) bool {
+	var pe *engine.PanicError
+	return errors.As(err, &pe)
+}
+
 // ladder runs the degradation ladder for one parsed program and fills
 // in the response. ctx carries the request deadline; cancellation by
 // the client aborts everything, while deadline exhaustion falls through
@@ -204,7 +226,12 @@ func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, res
 		}
 		att := Attempt{Rung: r.rung, Name: RungName(r.rung)}
 		start := time.Now()
-		a, err, panicked := stage(func() (*comm.Analysis, error) {
+		// Rungs 1 and 2 run on the engine: the READ and WRITE halves
+		// solve as concurrent pool tasks, each solved problem verifies
+		// as a concurrent pool task, and the chaos mutation rides the
+		// PostSolve hook — after the solves join, before verification,
+		// exactly where the sequential pipeline applied it.
+		eres, err, panicked := stageEngine(func() (*engine.Result, error) {
 			if chaos != nil && chaos.PanicRung == att.Name {
 				panic(fmt.Sprintf("chaos: injected panic at rung %q", att.Name))
 			}
@@ -215,38 +242,30 @@ func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, res
 					return nil, ctx.Err()
 				}
 			}
-			a, err := comm.AnalyzeOpts(ctx, prog, col, r.opts)
-			if err != nil {
-				return nil, err
-			}
-			if chaos != nil && chaos.MutateSeed != 0 && r.rung == RungFull && a.Read != nil {
-				rng := rand.New(rand.NewSource(chaos.MutateSeed))
-				for i := 0; i < 4; i++ { // a few tries: some solutions have no mutable site
-					if _, _, ok := mutate.Apply(rng, a.Read, a.Universe.Size()); ok {
-						break
+			var post func(*comm.Analysis)
+			if chaos != nil && chaos.MutateSeed != 0 && r.rung == RungFull {
+				post = func(a *comm.Analysis) {
+					if a.Read == nil {
+						return
+					}
+					rng := rand.New(rand.NewSource(chaos.MutateSeed))
+					for i := 0; i < 4; i++ { // a few tries: some solutions have no mutable site
+						if _, _, ok := mutate.Apply(rng, a.Read, a.Universe.Size()); ok {
+							break
+						}
 					}
 				}
 			}
-			return a, nil
+			return s.engine.Analyze(ctx, engine.Job{
+				Prog: prog, Opts: r.opts, Collector: col, PostSolve: post,
+			})
 		})
-		if err != nil {
-			att.Outcome = attemptOutcome(err)
-			if panicked {
-				att.Outcome = "panic"
-			}
-			att.Detail = err.Error()
-			att.DurationMS = msSince(start)
-			resp.Ladder = append(resp.Ladder, att)
-			if att.Outcome == "canceled" {
-				resp.Error, resp.Code = err.Error(), "canceled"
-				return
-			}
-			continue
-		}
-		res, err := a.CheckPlacementCtx(ctx, col)
 		att.DurationMS = msSince(start)
 		if err != nil {
 			att.Outcome = attemptOutcome(err)
+			if panicked || isPanicErr(err) {
+				att.Outcome = "panic"
+			}
 			att.Detail = err.Error()
 			resp.Ladder = append(resp.Ladder, att)
 			if att.Outcome == "canceled" {
@@ -255,16 +274,19 @@ func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, res
 			}
 			continue
 		}
+		a, res := eres.Analysis, eres.Check
 		att.CheckErrs, att.CheckWarns = len(res.Errors()), len(res.Warnings())
 		if !res.Ok() {
 			att.Outcome = "check-failed"
 			att.Detail = res.Errors()[0].String()
 			resp.Ladder = append(resp.Ladder, att)
+			eres.Release()
 			continue
 		}
 		att.Outcome = "ok"
 		resp.Ladder = append(resp.Ladder, att)
 		s.finish(ctx, a, comm.DefaultOptions, r.rung, req, resp, res, col)
+		eres.Release()
 		return
 	}
 

@@ -29,9 +29,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"givetake/internal/comm"
+	"givetake/internal/engine"
 )
 
 // Defaults for the zero Config.
@@ -41,6 +45,7 @@ const (
 	DefaultRequestTimeout = 10 * time.Second
 	DefaultMaxSteps       = 2_000_000
 	DefaultMaxSourceBytes = 1 << 20
+	DefaultMaxBatch       = 64
 )
 
 // Config parameterizes a Server.
@@ -59,6 +64,13 @@ type Config struct {
 	MaxSteps int64
 	// MaxSourceBytes caps the request body (413 beyond it).
 	MaxSourceBytes int64
+	// MaxBatch bounds the programs accepted in one /batch request.
+	MaxBatch int
+	// Workers sizes the engine's leaf-task pool; zero means GOMAXPROCS.
+	Workers int
+	// CacheBytes bounds the engine's result cache; zero means the engine
+	// default, negative disables caching.
+	CacheBytes int64
 	// AllowChaos honors fault-injection fields on requests. Never set
 	// in production; the chaos harness sets it.
 	AllowChaos bool
@@ -80,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSourceBytes <= 0 {
 		c.MaxSourceBytes = DefaultMaxSourceBytes
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
 	return c
 }
 
@@ -88,6 +103,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	sem      chan struct{}
+	engine   *engine.Engine
 	inFlight atomic.Int64
 	served   atomic.Int64
 	shed     atomic.Int64
@@ -97,12 +113,26 @@ type Server struct {
 // New builds a Server from cfg (zero fields take defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+		engine: engine.New(engine.Config{
+			Workers:    cfg.Workers,
+			CacheBytes: cfg.CacheBytes,
+		}),
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
+
+// Close stops the server's engine workers. Call once serving is done.
+func (s *Server) Close() { s.engine.Close() }
+
+// Engine exposes the server's analysis engine (stats, tests).
+func (s *Server) Engine() *engine.Engine { return s.engine }
 
 // Handler returns the service's HTTP handler with the outermost panic
 // boundary installed.
@@ -123,28 +153,51 @@ func (s *Server) Handler() http.Handler {
 }
 
 // ListenAndServe runs the service until ctx is canceled, then shuts
-// down gracefully (in-flight requests get 5s to drain).
+// down gracefully (in-flight requests get 5s to drain). The listener
+// is bound synchronously, so a bind conflict is reported immediately
+// and can never race ctx cancellation into looking like a clean
+// shutdown; serve-time listener failures are likewise preferred over
+// the graceful-close sentinel by the errc drain below. (The old shape
+// — ListenAndServe on a goroutine, Shutdown's error returned verbatim
+// — dropped the listener's error whenever cancellation won the race,
+// so a server that never bound "shut down cleanly".)
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	hs := &http.Server{Addr: s.cfg.Addr, Handler: s.Handler()}
+	addr := hs.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return hs.Shutdown(sctx)
+		serr := hs.Shutdown(sctx)
+		// Shutdown makes Serve return promptly, so this drain never
+		// blocks; without it the serving goroutine's error would be
+		// dropped on the floor.
+		if lerr := <-errc; lerr != nil && !errors.Is(lerr, http.ErrServerClosed) {
+			return lerr
+		}
+		return serr
 	}
 }
 
 // Health is the healthz payload.
 type Health struct {
-	OK          bool  `json:"ok"`
-	InFlight    int64 `json:"in_flight"`
-	MaxInFlight int   `json:"max_in_flight"`
-	Served      int64 `json:"served"`
-	Shed        int64 `json:"shed"`
+	OK          bool         `json:"ok"`
+	InFlight    int64        `json:"in_flight"`
+	MaxInFlight int          `json:"max_in_flight"`
+	Served      int64        `json:"served"`
+	Shed        int64        `json:"shed"`
+	Engine      engine.Stats `json:"engine"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -154,7 +207,131 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight: s.cfg.MaxInFlight,
 		Served:      s.served.Load(),
 		Shed:        s.shed.Load(),
+		Engine:      s.engine.Stats(),
 	})
+}
+
+// decodeRequest reads and validates one Request body. It runs BEFORE
+// admission on every path: a client trickling its body byte-by-byte
+// must burn its own connection, not an analysis slot. (The service once
+// acquired the slot first, which let a handful of slowloris uploads
+// starve every fast request behind them.)
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, maxBytes int64, req *Request) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	if err := json.NewDecoder(body).Decode(req); err != nil {
+		status, code := http.StatusBadRequest, "bad-json"
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status, code = http.StatusRequestEntityTooLarge, "too-large"
+		}
+		writeJSON(w, status, &Response{Error: err.Error(), Code: code})
+		return false
+	}
+	return true
+}
+
+// validate rejects a decoded request that must not reach the ladder.
+// It returns a ready-to-write error response, or nil when admissible.
+func (s *Server) validate(req *Request) (int, *Response) {
+	if int64(len(req.Source)) > s.cfg.MaxSourceBytes {
+		return http.StatusRequestEntityTooLarge, &Response{
+			Error: "source exceeds MaxSourceBytes", Code: "too-large",
+		}
+	}
+	if req.Chaos != nil && !s.cfg.AllowChaos {
+		return http.StatusUnprocessableEntity, &Response{
+			Error: "chaos injection disabled on this server", Code: "chaos-disabled",
+		}
+	}
+	return 0, nil
+}
+
+// admit waits for an analysis slot, bounded by the queue timeout.
+// Returns a release func on success, nil when the request was shed or
+// the client left. The timer is explicitly stopped on every exit: the
+// old time.After here leaked one timer per admitted request, which
+// under sustained load was a slow, invisible heap bleed.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.engine.NoteAdmission(true)
+		return func() { <-s.sem }
+	case <-timer.C:
+		s.shed.Add(1)
+		s.engine.NoteAdmission(false)
+		writeJSON(w, http.StatusTooManyRequests, &Response{
+			Error: "server at capacity; retry later", Code: "overloaded",
+		})
+		return nil
+	case <-r.Context().Done():
+		return nil // client gone while queued; nothing to say to no one
+	}
+}
+
+// statusFor maps a structured response to its transport status.
+func statusFor(resp *Response) int {
+	if resp.OK {
+		return http.StatusOK
+	}
+	switch resp.Code {
+	case "parse-error":
+		return http.StatusUnprocessableEntity
+	case "canceled":
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// cacheable reports whether a rendered response is deterministic in the
+// request content alone. Deadline- or cancellation-shaped ladders
+// depend on when the request ran, not what it asked, and must never be
+// replayed to a later caller.
+func cacheable(resp *Response) bool {
+	if !resp.OK {
+		return false
+	}
+	for _, att := range resp.Ladder {
+		if att.Outcome == "deadline" || att.Outcome == "canceled" {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheKey derives the content address of one request: everything that
+// can change the rendered bytes — source, execution parameters, and the
+// client timeout (it clamps the deadline, which shapes degradation).
+func (s *Server) cacheKey(req *Request) string {
+	return engine.CacheKey(req.Source, comm.Opts{},
+		fmt.Sprintf("execute=%t", req.Execute),
+		fmt.Sprintf("n=%d", req.N),
+		fmt.Sprintf("timeout_ms=%d", req.TimeoutMS),
+	)
+}
+
+// analyzeCached runs one admitted request through the result cache:
+// repeated identical requests are served stored byte-identical bodies,
+// and a thundering herd of identical requests costs one analysis.
+// Chaos-bearing requests bypass cache and single-flight entirely —
+// injected faults must never be stored or shared.
+func (s *Server) analyzeCached(ctx context.Context, req *Request) (engine.Cached, engine.CacheSource, error) {
+	compute := func(ctx context.Context) (engine.Cached, bool, error) {
+		resp := s.Analyze(ctx, req)
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return engine.Cached{}, false, err
+		}
+		body = append(body, '\n')
+		return engine.Cached{Status: statusFor(resp), Body: body}, cacheable(resp), nil
+	}
+	if req.Chaos != nil {
+		c, _, err := compute(ctx)
+		return c, engine.CacheBypass, err
+	}
+	return s.engine.Do(ctx, s.cacheKey(req), compute)
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -165,46 +342,25 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// decode and validate before competing for a slot
+	var req Request
+	if !s.decodeRequest(w, r, s.cfg.MaxSourceBytes, &req) {
+		return
+	}
+	if status, errResp := s.validate(&req); errResp != nil {
+		writeJSON(w, status, errResp)
+		return
+	}
+
 	// admission: wait for an analysis slot, but not forever — overload
 	// degrades to fast structured 429s, not an unbounded queue
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-time.After(s.cfg.QueueTimeout):
-		s.shed.Add(1)
-		writeJSON(w, http.StatusTooManyRequests, &Response{
-			Error: "server at capacity; retry later", Code: "overloaded",
-		})
+	release := s.admit(w, r)
+	if release == nil {
 		return
-	case <-r.Context().Done():
-		return // client gone while queued; nothing to say to no one
 	}
+	defer release()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
-
-	var req Request
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		status, code := http.StatusBadRequest, "bad-json"
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			status, code = http.StatusRequestEntityTooLarge, "too-large"
-		}
-		writeJSON(w, status, &Response{Error: err.Error(), Code: code})
-		return
-	}
-	if int64(len(req.Source)) > s.cfg.MaxSourceBytes {
-		writeJSON(w, http.StatusRequestEntityTooLarge, &Response{
-			Error: "source exceeds MaxSourceBytes", Code: "too-large",
-		})
-		return
-	}
-	if req.Chaos != nil && !s.cfg.AllowChaos {
-		writeJSON(w, http.StatusUnprocessableEntity, &Response{
-			Error: "chaos injection disabled on this server", Code: "chaos-disabled",
-		})
-		return
-	}
 
 	timeout := s.cfg.RequestTimeout
 	if req.TimeoutMS > 0 {
@@ -215,20 +371,122 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	resp := s.Analyze(ctx, &req)
-	s.served.Add(1)
-	status := http.StatusOK
-	if !resp.OK {
-		switch resp.Code {
-		case "parse-error":
-			status = http.StatusUnprocessableEntity
-		case "canceled":
-			status = 499 // client closed request (nginx convention)
-		default:
-			status = http.StatusInternalServerError
-		}
+	cached, src, err := s.analyzeCached(ctx, &req)
+	if err != nil {
+		writeJSON(w, 499, &Response{Error: err.Error(), Code: "canceled"})
+		return
 	}
-	writeJSON(w, status, resp)
+	s.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Gnt-Cache", string(src))
+	w.WriteHeader(cached.Status)
+	_, _ = w.Write(cached.Body)
+}
+
+// BatchRequest is one /batch body: up to MaxBatch analysis requests
+// answered in order.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchResponse is the /batch envelope. Results[i] is the rendered
+// Response for Requests[i], byte-identical to what /analyze would have
+// returned; Cache[i] reports how it was obtained (hit | miss | follow |
+// bypass). The disposition lives in the envelope, never in the result
+// bytes, so cached and fresh result bodies stay comparable.
+type BatchResponse struct {
+	Results []json.RawMessage `json:"results"`
+	Cache   []string          `json:"cache"`
+}
+
+// handleBatch analyzes a batch of programs with the fan-out bounded by
+// the engine's worker pool. The whole batch holds ONE admission slot:
+// batch admission competes fairly with single requests instead of a
+// 64-program batch starving 64 slots.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, &Response{
+			Error: "POST only", Code: "method-not-allowed",
+		})
+		return
+	}
+
+	// decode before admission, same as /analyze: the batch body cap
+	// scales with how many programs a batch may carry
+	var breq BatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes*int64(s.cfg.MaxBatch))
+	if err := json.NewDecoder(body).Decode(&breq); err != nil {
+		status, code := http.StatusBadRequest, "bad-json"
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status, code = http.StatusRequestEntityTooLarge, "too-large"
+		}
+		writeJSON(w, status, &Response{Error: err.Error(), Code: code})
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, &Response{
+			Error: "empty batch", Code: "bad-request",
+		})
+		return
+	}
+	if len(breq.Requests) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusUnprocessableEntity, &Response{
+			Error: fmt.Sprintf("batch of %d exceeds MaxBatch %d", len(breq.Requests), s.cfg.MaxBatch),
+			Code:  "batch-too-large",
+		})
+		return
+	}
+
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	out := BatchResponse{
+		Results: make([]json.RawMessage, len(breq.Requests)),
+		Cache:   make([]string, len(breq.Requests)),
+	}
+	s.engine.Map(r.Context(), len(breq.Requests), func(ctx context.Context, i int) {
+		req := &breq.Requests[i]
+		render := func(resp *Response, src engine.CacheSource) {
+			b, _ := json.Marshal(resp)
+			out.Results[i], out.Cache[i] = b, string(src)
+		}
+		if _, errResp := s.validate(req); errResp != nil {
+			render(errResp, engine.CacheBypass)
+			return
+		}
+		timeout := s.cfg.RequestTimeout
+		if req.TimeoutMS > 0 {
+			if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+				timeout = t
+			}
+		}
+		ictx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		cached, src, err := s.analyzeCached(ictx, req)
+		if err != nil {
+			render(&Response{Error: err.Error(), Code: "canceled"}, src)
+			return
+		}
+		s.served.Add(1)
+		out.Results[i] = json.RawMessage(trimNewline(cached.Body))
+		out.Cache[i] = string(src)
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// trimNewline drops the trailing newline a stored body carries
+// from its stream encoding, keeping batch JSON arrays tidy.
+func trimNewline(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		return b[:n-1]
+	}
+	return b
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

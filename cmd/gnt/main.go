@@ -51,6 +51,7 @@ import (
 	"strconv"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"givetake/internal/cfg"
 	"givetake/internal/check"
@@ -85,6 +86,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	addr := fs.String("addr", ":8075", "listen address for -mode serve")
 	workers := fs.Int("workers", 0, "engine worker pool size for -mode serve (0: GOMAXPROCS)")
 	cacheMB := fs.Int64("cache-mb", 0, "result-cache budget in MiB for -mode serve (0: default, -1: off)")
+	journalDir := fs.String("journal-dir", "", "durable result journal directory for -mode serve (empty: no journal)")
+	journalFlushMS := fs.Int64("journal-flush-ms", 0, "max time a result waits for group commit, in ms (0: default 50)")
+	journalMaxBatch := fs.Int("journal-max-batch", 0, "max results per journal group commit (0: default 64)")
 	atomic := fs.Bool("atomic", false, "emit atomic READ/WRITE instead of Send/Recv halves")
 	explain := fs.String("explain", "", "explain the placement at a node (preorder number, or \"all\")")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON profile to this file")
@@ -104,7 +108,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	if *mode == "serve" {
-		return runServe(*addr, *workers, *cacheMB, stderr)
+		return runServe(serveFlags{
+			addr: *addr, workers: *workers, cacheMB: *cacheMB,
+			journalDir: *journalDir, journalFlushMS: *journalFlushMS,
+			journalMaxBatch: *journalMaxBatch,
+		}, stderr)
 	}
 
 	// a recorder exists only when something will consume it; everywhere
@@ -161,21 +169,43 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// serveFlags carries the -mode serve flag values into runServe.
+type serveFlags struct {
+	addr            string
+	workers         int
+	cacheMB         int64
+	journalDir      string
+	journalFlushMS  int64
+	journalMaxBatch int
+}
+
 // runServe starts the hardened analysis service (internal/serve) and
 // blocks until SIGINT/SIGTERM, then shuts down gracefully, draining
-// in-flight requests.
-func runServe(addr string, workers int, cacheMB int64, stderr io.Writer) error {
+// in-flight requests and group-committing the journal's pending batch.
+func runServe(f serveFlags, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cacheBytes := cacheMB << 20
-	if cacheMB < 0 {
+	cacheBytes := f.cacheMB << 20
+	if f.cacheMB < 0 {
 		cacheBytes = -1
 	}
-	s := serve.New(serve.Config{Addr: addr, Workers: workers, CacheBytes: cacheBytes})
+	s, err := serve.New(serve.Config{
+		Addr: f.addr, Workers: f.workers, CacheBytes: cacheBytes,
+		JournalDir:       f.journalDir,
+		JournalFlushWait: time.Duration(f.journalFlushMS) * time.Millisecond,
+		JournalMaxBatch:  f.journalMaxBatch,
+	})
+	if err != nil {
+		return err
+	}
 	defer s.Close()
-	fmt.Fprintf(stderr, "gnt: serving on %s (POST /analyze, POST /batch, GET /healthz; %d workers)\n",
-		addr, s.Engine().Workers())
-	err := s.ListenAndServe(ctx)
+	durable := ""
+	if f.journalDir != "" {
+		durable = fmt.Sprintf("; journal %s", f.journalDir)
+	}
+	fmt.Fprintf(stderr, "gnt: serving on %s (POST /analyze, POST /batch, GET /healthz, GET /readyz; %d workers%s)\n",
+		f.addr, s.Engine().Workers(), durable)
+	err = s.ListenAndServe(ctx)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}

@@ -39,6 +39,7 @@ import (
 	"givetake/internal/check"
 	"givetake/internal/comm"
 	"givetake/internal/engine"
+	"givetake/internal/journal"
 	"givetake/internal/obs"
 
 	gt "givetake"
@@ -52,7 +53,10 @@ import (
 // v4 added the parallel-engine comparison: a "timing" block (serial vs
 // parallel vs warm-cache corpus wall time) and the engine's cache
 // counters, present when -parallel is given.
-const Schema = "gnt-bench/v4"
+// v5 added the durable-journal comparison: a "journal" block with group
+// commit flush latency, replay stats, and cold versus journal-warmed
+// restart sweep wall times, present when -parallel is given.
+const Schema = "gnt-bench/v5"
 
 // DefaultTimeout is the per-program wall-clock budget.
 const DefaultTimeout = 30 * time.Second
@@ -67,6 +71,31 @@ type artifact struct {
 	// Cache is the engine's cache counter snapshot after both sweeps;
 	// with a single cold+warm cycle the hit rate lands at 0.5.
 	Cache *engine.CacheStats `json:"cache,omitempty"`
+	// Journal compares a cold restart against a journal-warmed restart:
+	// an engine fills a journal, "dies", and a fresh engine replays the
+	// log into its cache before sweeping again.
+	Journal *journalBench `json:"journal,omitempty"`
+}
+
+// journalBench is the durable-journal block of the artifact.
+type journalBench struct {
+	// Flush latency of the journal's group commits during the fill
+	// sweep, and what they sealed.
+	FlushLastMS   float64 `json:"flush_last_ms"`
+	FlushMaxMS    float64 `json:"flush_max_ms"`
+	SealedBatches int64   `json:"sealed_batches"`
+	SealedRecords int64   `json:"sealed_records"`
+	SealedBytes   int64   `json:"sealed_bytes"`
+	// Replay is the restarted engine's replay accounting (records
+	// delivered, corruption skipped, wall time).
+	Replay journal.ReplayStats `json:"replay"`
+	// ColdWallMS is the fill sweep (every program computes and
+	// journals); WarmRestartWallMS is the same sweep on the restarted,
+	// replay-warmed engine (every program hits). RestartSpeedup is
+	// their ratio: what the journal buys a restarted node.
+	ColdWallMS        float64 `json:"cold_wall_ms"`
+	WarmRestartWallMS float64 `json:"warm_restart_wall_ms"`
+	RestartSpeedup    float64 `json:"restart_speedup"`
 }
 
 type timing struct {
@@ -138,6 +167,11 @@ func run(dirs []string, out string, timeout time.Duration, parallel int, assertS
 			return fmt.Errorf("parallel sweep too slow: speedup %.2f < required %.2f (serial %.1fms, parallel %.1fms)",
 				tm.Speedup, assertSpeedup, tm.SerialWallMS, tm.ParallelWallMS)
 		}
+		jb, err := benchJournal(files, parallel, timeout)
+		if err != nil {
+			return err
+		}
+		art.Journal = jb
 	}
 	b, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -268,57 +302,16 @@ func benchParallel(files []string, workers int, timeout time.Duration, serialWal
 	ctx, cancel := context.WithTimeout(context.Background(), timeout*time.Duration(len(files)))
 	defer cancel()
 
-	sources := make([]string, len(files))
-	for i, file := range files {
-		b, err := os.ReadFile(file)
-		if err != nil {
-			return nil, nil, err
-		}
-		sources[i] = string(b)
+	sources, err := readSources(files)
+	if err != nil {
+		return nil, nil, err
 	}
 
-	sweep := func() (time.Duration, error) {
-		errs := make([]error, len(files))
-		start := time.Now()
-		e.Map(ctx, len(files), func(ctx context.Context, i int) {
-			key := engine.CacheKey(sources[i], comm.Opts{})
-			_, _, err := e.Do(ctx, key, func(ctx context.Context) (engine.Cached, bool, error) {
-				prog, err := gt.Parse(sources[i])
-				if err != nil {
-					return engine.Cached{}, false, err
-				}
-				res, err := e.Analyze(ctx, engine.Job{Prog: prog})
-				if err != nil {
-					return engine.Cached{}, false, err
-				}
-				defer res.Release()
-				if !res.Check.Ok() {
-					return engine.Cached{}, false, fmt.Errorf("verification failed: %s", res.Check.Errors()[0])
-				}
-				body, err := json.Marshal(struct {
-					Annotated string `json:"annotated"`
-					Warnings  int    `json:"warnings"`
-				}{res.Analysis.AnnotatedSource(comm.DefaultOptions), len(res.Check.Warnings())})
-				if err != nil {
-					return engine.Cached{}, false, err
-				}
-				return engine.Cached{Status: 200, Body: body}, true, nil
-			})
-			errs[i] = err
-		})
-		for i, err := range errs {
-			if err != nil {
-				return 0, fmt.Errorf("%s: %w", files[i], err)
-			}
-		}
-		return time.Since(start), nil
-	}
-
-	coldWall, err := sweep()
+	coldWall, err := sweepEngine(ctx, e, files, sources)
 	if err != nil {
 		return nil, nil, fmt.Errorf("parallel cold sweep: %w", err)
 	}
-	warmWall, err := sweep()
+	warmWall, err := sweepEngine(ctx, e, files, sources)
 	if err != nil {
 		return nil, nil, fmt.Errorf("parallel warm sweep: %w", err)
 	}
@@ -338,4 +331,128 @@ func benchParallel(files []string, workers int, timeout time.Duration, serialWal
 			cs.Hits, cs.Misses, len(files))
 	}
 	return tm, &cs, nil
+}
+
+// readSources loads the corpus files once for the engine sweeps.
+func readSources(files []string) ([]string, error) {
+	sources := make([]string, len(files))
+	for i, file := range files {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = string(b)
+	}
+	return sources, nil
+}
+
+// sweepEngine runs the whole corpus through e's cache-fronted pipeline
+// once, with fan-out bounded by the worker count, and returns the
+// sweep's wall time. Any per-program failure fails the sweep.
+func sweepEngine(ctx context.Context, e *engine.Engine, files, sources []string) (time.Duration, error) {
+	errs := make([]error, len(files))
+	start := time.Now()
+	e.Map(ctx, len(files), func(ctx context.Context, i int) {
+		key := engine.CacheKey(sources[i], comm.Opts{})
+		_, _, err := e.Do(ctx, key, func(ctx context.Context) (engine.Cached, bool, error) {
+			prog, err := gt.Parse(sources[i])
+			if err != nil {
+				return engine.Cached{}, false, err
+			}
+			res, err := e.Analyze(ctx, engine.Job{Prog: prog})
+			if err != nil {
+				return engine.Cached{}, false, err
+			}
+			defer res.Release()
+			if !res.Check.Ok() {
+				return engine.Cached{}, false, fmt.Errorf("verification failed: %s", res.Check.Errors()[0])
+			}
+			body, err := json.Marshal(struct {
+				Annotated string `json:"annotated"`
+				Warnings  int    `json:"warnings"`
+			}{res.Analysis.AnnotatedSource(comm.DefaultOptions), len(res.Check.Warnings())})
+			if err != nil {
+				return engine.Cached{}, false, err
+			}
+			return engine.Cached{Status: 200, Body: body}, true, nil
+		})
+		errs[i] = err
+	})
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", files[i], err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// benchJournal measures what the durable journal buys a restarted node:
+// engine 1 sweeps the corpus cold, filling a journal as it goes, and
+// shuts down gracefully; engine 2 opens the same storage, replays the
+// log into its cache, and sweeps again — every program a hit, no
+// analysis recomputed. The block records group-commit flush latency,
+// replay accounting, and the two sweeps' wall times.
+func benchJournal(files []string, workers int, timeout time.Duration) (*journalBench, error) {
+	sources, err := readSources(files)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout*time.Duration(len(files)))
+	defer cancel()
+
+	mb := journal.NewMemBackend()
+	j1, err := journal.Open(journal.Config{Backend: mb})
+	if err != nil {
+		return nil, err
+	}
+	e1 := engine.New(engine.Config{Workers: workers, Journal: j1})
+	coldWall, err := sweepEngine(ctx, e1, files, sources)
+	e1.Close()
+	if err != nil {
+		j1.Abort()
+		return nil, fmt.Errorf("journal fill sweep: %w", err)
+	}
+	if err := j1.Close(); err != nil { // graceful drain: seal the tail
+		return nil, fmt.Errorf("journal drain: %w", err)
+	}
+	jstats := j1.Stats()
+
+	j2, err := journal.Open(journal.Config{Backend: mb})
+	if err != nil {
+		return nil, err
+	}
+	defer j2.Close()
+	e2 := engine.New(engine.Config{Workers: workers, Journal: j2})
+	defer e2.Close()
+	rs, err := e2.WarmFromJournal(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("journal replay: %w", err)
+	}
+	if rs.Records != int64(len(files)) || rs.Corrupt() {
+		return nil, fmt.Errorf("replay delivered %d records with %d corrupt batches, want %d clean (stats %+v)",
+			rs.Records, rs.CorruptBatches, len(files), rs)
+	}
+	warmWall, err := sweepEngine(ctx, e2, files, sources)
+	if err != nil {
+		return nil, fmt.Errorf("journal-warmed sweep: %w", err)
+	}
+	if cs := e2.Stats().Cache; cs.Hits != int64(len(files)) || cs.Misses != 0 {
+		return nil, fmt.Errorf("journal-warmed sweep recomputed: %d hits %d misses, want %d/0",
+			cs.Hits, cs.Misses, len(files))
+	}
+
+	jb := &journalBench{
+		FlushLastMS:       jstats.LastFlushMS,
+		FlushMaxMS:        jstats.MaxFlushMS,
+		SealedBatches:     jstats.SealedBatches,
+		SealedRecords:     jstats.SealedRecords,
+		SealedBytes:       jstats.SealedBytes,
+		Replay:            rs,
+		ColdWallMS:        float64(coldWall.Microseconds()) / 1000,
+		WarmRestartWallMS: float64(warmWall.Microseconds()) / 1000,
+	}
+	if warmWall > 0 {
+		jb.RestartSpeedup = float64(coldWall) / float64(warmWall)
+	}
+	return jb, nil
 }

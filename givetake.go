@@ -350,5 +350,6 @@ type ServeResponse = serve.Response
 // NewServer builds the analysis service; mount its Handler or call
 // ListenAndServe. Every request descends the degradation ladder —
 // full placement, no-hoist retry, atomic floor — behind per-request
-// panic isolation, so the process survives any input.
-func NewServer(cfg ServeConfig) *serve.Server { return serve.New(cfg) }
+// panic isolation, so the process survives any input. The error covers
+// journal storage that cannot be opened (ServeConfig.JournalDir).
+func NewServer(cfg ServeConfig) (*serve.Server, error) { return serve.New(cfg) }

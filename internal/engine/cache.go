@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"givetake/internal/comm"
+	"givetake/internal/journal"
 	"givetake/internal/obs"
 )
 
@@ -68,15 +70,24 @@ func CacheKey(source string, opt comm.Opts, extra ...string) string {
 
 const cacheKeyVersion = "gnt-engine/v1"
 
-// CacheStats is a point-in-time snapshot of the result cache.
+// CacheStats is a point-in-time snapshot of the result cache. Every
+// snapshot is internally consistent: all counters are read — and, on
+// the update side, written — under one lock, so a snapshot can never
+// observe a stored entry whose miss has not been counted yet. The
+// invariant Misses+Replayed >= Entries+Evictions holds in every
+// snapshot (each resident entry was stored by exactly one counted miss
+// or journal replay).
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Followers int64 `json:"followers"`
 	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	MaxBytes  int64 `json:"max_bytes"`
+	// Replayed counts entries warmed from the journal at startup; they
+	// are resident without a miss ever being counted.
+	Replayed int64 `json:"replayed"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
 }
 
 // HitRate is hits/(hits+misses), 0 when nothing was looked up.
@@ -96,7 +107,7 @@ type cache struct {
 	ll    *list.List // front = most recent
 	idx   map[string]*list.Element
 
-	hits, misses, followers, evictions int64
+	hits, misses, followers, evictions, replayed int64
 }
 
 type cacheEntry struct {
@@ -126,24 +137,65 @@ func (c *cache) get(key string) (Cached, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// put stores val unless it alone exceeds the byte bound, evicting from
-// the LRU tail until the bound holds again. Returns how many entries
-// were evicted to make room.
-func (c *cache) put(key string, val Cached) (evicted int64) {
+// storeMiss atomically counts one single-flight miss and — when the
+// computed value is storable — inserts it, under ONE lock acquisition.
+// The store and its miss count used to be two separate critical
+// sections, which let a /healthz snapshot land between them and report
+// more resident entries than counted misses (hits < misses-adjusted
+// totals, transiently). Returns how many entries were evicted.
+func (c *cache) storeMiss(key string, val Cached, storable bool) (evicted int64) {
 	if c == nil {
-		return 0
-	}
-	sz := val.size(key)
-	if sz > c.max {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.misses++
+	if storable {
+		_, evicted = c.putLocked(key, val)
+	}
+	return evicted
+}
+
+// noteFollower counts one single-flight follower.
+func (c *cache) noteFollower() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.followers++
+	c.mu.Unlock()
+}
+
+// putReplay stores one journal-replayed entry, counting it as replayed
+// rather than missed (no analysis ran). Returns evictions.
+func (c *cache) putReplay(key string, val Cached) (evicted int64) {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var stored bool
+	stored, evicted = c.putLocked(key, val)
+	if stored {
+		c.replayed++
+	}
+	return evicted
+}
+
+// putLocked stores val unless it alone exceeds the byte bound (or the
+// key is already resident), evicting from the LRU tail until the bound
+// holds again. Caller holds c.mu. Reports whether a new entry was
+// stored and how many entries were evicted to make room.
+func (c *cache) putLocked(key string, val Cached) (stored bool, evicted int64) {
+	sz := val.size(key)
+	if sz > c.max {
+		return false, 0
+	}
 	if el, ok := c.idx[key]; ok {
 		// a racing leader already stored it; refresh recency only (the
 		// bytes are equivalent by key construction)
 		c.ll.MoveToFront(el)
-		return 0
+		return false, 0
 	}
 	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 	c.bytes += sz
@@ -159,7 +211,7 @@ func (c *cache) put(key string, val Cached) (evicted int64) {
 		c.evictions++
 		evicted++
 	}
-	return evicted
+	return true, evicted
 }
 
 func (c *cache) snapshot() CacheStats {
@@ -170,8 +222,8 @@ func (c *cache) snapshot() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Followers: c.followers,
-		Evictions: c.evictions, Entries: c.ll.Len(), Bytes: c.bytes,
-		MaxBytes: c.max,
+		Evictions: c.evictions, Replayed: c.replayed,
+		Entries: c.ll.Len(), Bytes: c.bytes, MaxBytes: c.max,
 	}
 }
 
@@ -192,6 +244,11 @@ type flight struct {
 // A follower whose leader was canceled does not inherit the
 // cancellation: it retries and becomes the next leader, so one
 // impatient client cannot fail the herd behind it.
+//
+// A stored value is also appended to the durable journal (when one is
+// configured): the fill path is exactly the journal's bypass rule —
+// whatever compute vetoes as non-cacheable (chaos injection, deadline-
+// shaped responses) never reaches storage either.
 func (e *Engine) Do(ctx context.Context, key string, compute func(context.Context) (Cached, bool, error)) (Cached, CacheSource, error) {
 	for {
 		if val, ok := e.cache.get(key); ok {
@@ -209,11 +266,7 @@ func (e *Engine) Do(ctx context.Context, key string, compute func(context.Contex
 			if fl.err != nil && isContextErr(fl.err) && ctx.Err() == nil {
 				continue // leader was canceled, not us: take over
 			}
-			if e.cache != nil {
-				e.cache.mu.Lock()
-				e.cache.followers++
-				e.cache.mu.Unlock()
-			}
+			e.cache.noteFollower()
 			obs.Count(e.cfg.Collector, obs.CounterCacheFollow, 1)
 			return fl.val, CacheFollow, fl.err
 		}
@@ -229,19 +282,50 @@ func (e *Engine) Do(ctx context.Context, key string, compute func(context.Contex
 		e.mu.Unlock()
 		close(fl.done)
 
-		if err == nil && cacheable {
-			if n := e.cache.put(key, val); n > 0 {
-				obs.Count(e.cfg.Collector, obs.CounterCacheEvict, n)
-			}
+		storable := err == nil && cacheable
+		// the miss and its store commit under one cache lock, so a
+		// concurrent stats snapshot can never see the entry without
+		// its miss (the old two-step update could)
+		if n := e.cache.storeMiss(key, val, storable); n > 0 {
+			obs.Count(e.cfg.Collector, obs.CounterCacheEvict, n)
 		}
-		if e.cache != nil {
-			e.cache.mu.Lock()
-			e.cache.misses++
-			e.cache.mu.Unlock()
+		if storable {
+			e.cfg.Journal.Append(journal.Record{Key: key, Status: val.Status, Body: val.Body})
 		}
 		obs.Count(e.cfg.Collector, obs.CounterCacheMiss, 1)
 		return val, CacheMiss, err
 	}
+}
+
+// WarmFromJournal replays the configured journal into the result
+// cache: every verified (key, bytes) record becomes a resident entry,
+// so a restarted node serves its pre-crash working set as cache hits
+// instead of recomputing it into live traffic. Corrupt batches, torn
+// tails, and truncated segments were already detected and skipped by
+// the journal layer — they are counted in the returned stats and never
+// admitted. ctx aborts a replay early (the cache keeps whatever was
+// admitted so far). No-op without a journal.
+func (e *Engine) WarmFromJournal(ctx context.Context) (journal.ReplayStats, error) {
+	j := e.cfg.Journal
+	if j == nil {
+		return journal.ReplayStats{}, nil
+	}
+	start := time.Now()
+	var evicted int64
+	rs, err := j.Replay(func(r journal.Record) {
+		if ctx.Err() != nil {
+			return
+		}
+		evicted += e.cache.putReplay(r.Key, Cached{Status: r.Status, Body: r.Body})
+	})
+	rs.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	if n := evicted; n > 0 {
+		obs.Count(e.cfg.Collector, obs.CounterCacheEvict, n)
+	}
+	if err == nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	return rs, err
 }
 
 func isContextErr(err error) bool {

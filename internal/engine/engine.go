@@ -40,6 +40,7 @@ import (
 	"givetake/internal/comm"
 	"givetake/internal/frontend"
 	"givetake/internal/ir"
+	"givetake/internal/journal"
 	"givetake/internal/obs"
 )
 
@@ -58,6 +59,13 @@ type Config struct {
 	// Collector receives engine-level counters (cache hit/miss/evict,
 	// pool tasks/panics); nil records nothing.
 	Collector obs.Collector
+	// Journal, when non-nil, makes cache fills durable: every storable
+	// result Do computes is appended for group commit, and
+	// WarmFromJournal replays the verified records into the cache at
+	// startup. The engine never flushes or closes the journal — its
+	// lifecycle (drain on shutdown, abort on crash) belongs to the
+	// owner.
+	Journal *journal.Journal
 }
 
 // Engine schedules analysis pipelines over a worker pool and serves

@@ -1,0 +1,210 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCrashRecoveryProperty is the crash-recovery property test: for
+// 200 seeded fault schedules — torn tail, mid-segment truncation, or a
+// bit flip at a random offset — replay must
+//
+//   - deliver only verified records, each byte-identical to what was
+//     committed,
+//   - count the corruption it skipped, with the counts matching the
+//     injected fault,
+//   - and never crash (a panic fails the test; Replay must return a
+//     nil error for corruption).
+func TestCrashRecoveryProperty(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nBatches := 2 + rng.Intn(6)
+			batchSize := 1 + rng.Intn(8)
+
+			mb := NewMemBackend()
+			j, err := Open(Config{Backend: mb, MaxWait: time.Hour})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := fill(t, j, nBatches*batchSize, batchSize)
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			names, _ := mb.Segments()
+			name := names[0]
+			offs := batchOffsets(t, mb, name)
+			if len(offs) != nBatches {
+				t.Fatalf("built %d batches, want %d", len(offs), nBatches)
+			}
+
+			// inject one seeded fault and compute the survivor set
+			var want []Record
+			var wantTorn, wantCorruptBatches int64
+			switch rng.Intn(3) {
+			case 0: // torn tail: cut strictly inside the last batch
+				last := offs[nBatches-1]
+				cut := last[0] + 1 + rng.Intn(last[1]-last[0]-1)
+				mb.Truncate(name, int64(cut))
+				want = recs[:(nBatches-1)*batchSize]
+				wantTorn, wantCorruptBatches = 1, 0
+			case 1: // mid-segment truncation: everything after the cut is lost
+				victim := rng.Intn(nBatches)
+				v := offs[victim]
+				cut := v[0] + 1 + rng.Intn(v[1]-v[0]-1)
+				mb.Truncate(name, int64(cut))
+				want = recs[:victim*batchSize]
+				wantTorn, wantCorruptBatches = 1, 0
+			case 2: // bit flip at a random offset: exactly one batch drops
+				victim := rng.Intn(nBatches)
+				v := offs[victim]
+				off := v[0] + rng.Intn(v[1]-v[0])
+				if !mb.FlipBit(name, int64(off), uint(rng.Intn(8))) {
+					t.Fatal("flip failed")
+				}
+				want = append(append([]Record{}, recs[:victim*batchSize]...),
+					recs[(victim+1)*batchSize:]...)
+				wantTorn, wantCorruptBatches = 0, 1
+			}
+
+			got, st := replayAll(t, mb)
+			assertIdentical(t, got, want)
+			if st.TornTails != wantTorn {
+				t.Fatalf("torn tails = %d, want %d (stats %+v)", st.TornTails, wantTorn, st)
+			}
+			if st.CorruptBatches != wantCorruptBatches {
+				t.Fatalf("corrupt batches = %d, want %d (stats %+v)", st.CorruptBatches, wantCorruptBatches, st)
+			}
+			if wantCorruptBatches > 0 &&
+				st.CorruptRecords != 0 && st.CorruptRecords != int64(batchSize) {
+				// header-flip leaves the count unknown (0); a records-
+				// region flip counts the victim batch's records exactly
+				t.Fatalf("corrupt records = %d, want 0 or %d", st.CorruptRecords, batchSize)
+			}
+			if lost := int64(len(recs) - len(want)); st.Records != int64(len(recs))-lost {
+				t.Fatalf("delivered %d, want %d", st.Records, int64(len(recs))-lost)
+			}
+		})
+	}
+}
+
+// TestFaultBackendTorture drives the journal through a seeded storm of
+// short writes, fsync failures, and read-time bit flips, then crashes
+// and replays. The journal may lose data to the faults — that is the
+// point — but everything it delivers must be byte-identical to
+// something that was appended, and nothing may crash.
+func TestFaultBackendTorture(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			mb := NewMemBackend()
+			fb := NewFaultBackend(mb, FaultConfig{
+				Seed:       seed,
+				ShortWrite: 0.25,
+				SyncErr:    0.2,
+				FlipRead:   0.3,
+			})
+			j, err := Open(Config{Backend: fb, MaxWait: time.Hour, MaxSegmentBytes: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			appended := map[string][]byte{}
+			status := map[string]int{}
+			for i := 0; i < 120; i++ {
+				r := rec(i + int(seed)*1000)
+				appended[r.Key] = r.Body
+				status[r.Key] = r.Status
+				j.Append(r)
+				if i%7 == 6 {
+					_ = j.Flush() // injected sync errors are allowed here
+				}
+			}
+			j.Abort() // SIGKILL: no final flush
+			mb.Crash()
+
+			names, err := fb.Segments()
+			if err != nil {
+				t.Fatal(err)
+			}
+			delivered := 0
+			st, err := Replay(fb, names, func(r Record) {
+				wantBody, ok := appended[r.Key]
+				if !ok {
+					t.Fatalf("replay delivered unknown key %q", r.Key)
+				}
+				if !bytes.Equal(r.Body, wantBody) || r.Status != status[r.Key] {
+					t.Fatalf("replay delivered corrupt bytes for %q", r.Key)
+				}
+				delivered++
+			})
+			if err != nil {
+				t.Fatalf("replay errored under faults: %v", err)
+			}
+			fs := fb.Stats()
+			if fs.ShortWrites+fs.SyncErrs+fs.FlipReads == 0 {
+				t.Fatalf("seed %d injected no faults; torture test is a no-op", seed)
+			}
+			// fault accounting must close: injected storage damage shows
+			// up as counted corruption or as records that simply never
+			// became durable, never as silently admitted bad bytes
+			if delivered == len(appended) && (fs.ShortWrites > 0 || fs.FlipReads > 0) && !st.Corrupt() {
+				// possible only if every fault hit bytes that were
+				// already lost to an earlier fault — extremely unlikely
+				// across the schedule; treat as a signal the injection
+				// is not reaching storage
+				t.Fatalf("all %d records delivered cleanly despite %+v (stats %+v)",
+					delivered, fs, st)
+			}
+		})
+	}
+}
+
+// TestConcurrentAppendReplay: records appended from many goroutines
+// through the live flusher all survive a graceful close, intact.
+func TestConcurrentAppendReplay(t *testing.T) {
+	mb := NewMemBackend()
+	j, err := Open(Config{Backend: mb, MaxBatch: 16, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Append(rec(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string][]byte{}
+	_, st := replayAll(t, mb)
+	names, _ := mb.Segments()
+	if _, err := Replay(mb, names, func(r Record) { got[r.Key] = r.Body }); err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt() {
+		t.Fatalf("concurrent journal corrupt: %+v", st)
+	}
+	if len(got) != workers*per {
+		t.Fatalf("replayed %d unique records, want %d", len(got), workers*per)
+	}
+	for i := 0; i < workers*per; i++ {
+		want := rec(i)
+		if !bytes.Equal(got[want.Key], want.Body) {
+			t.Fatalf("record %d corrupted through concurrent path", i)
+		}
+	}
+}

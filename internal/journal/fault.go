@@ -1,0 +1,152 @@
+package journal
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// FaultConfig seeds a FaultBackend, in the style of internal/netsim:
+// every probability is evaluated on a deterministic per-backend PRNG,
+// so a seed reproduces an exact storage-fault schedule.
+type FaultConfig struct {
+	// Seed drives the fault schedule; same seed, same faults.
+	Seed int64
+	// ShortWrite is the probability a Write silently persists only a
+	// random proper prefix — a torn record at a flush boundary. The
+	// writer still reports full success, exactly like a kernel that
+	// acknowledged a write the disk never finished.
+	ShortWrite float64
+	// SyncErr is the probability a Sync fails, leaving the batch
+	// written but not durable (a later Crash on the wrapped MemBackend
+	// discards it).
+	SyncErr float64
+	// FlipRead is the probability an Open'd segment comes back with
+	// one random bit flipped — read-time bit rot.
+	FlipRead float64
+}
+
+// FaultStats counts injected faults, for asserting that a torture run
+// actually exercised what it claims.
+type FaultStats struct {
+	ShortWrites int64 `json:"short_writes"`
+	SyncErrs    int64 `json:"sync_errs"`
+	FlipReads   int64 `json:"flip_reads"`
+}
+
+// faultErr is a distinguishable injected error.
+type faultErr string
+
+func (e faultErr) Error() string { return string(e) }
+
+// ErrInjectedSync is the error an injected fsync failure returns.
+const ErrInjectedSync = faultErr("journal: injected sync failure")
+
+// FaultBackend wraps another Backend with seeded storage faults:
+// short (torn) writes, fsync failures, and read-time bit flips. It is
+// the storage-side sibling of netsim's lossy transport and drives the
+// crash-recovery torture tests.
+type FaultBackend struct {
+	inner Backend
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// NewFaultBackend wraps inner with the seeded fault schedule.
+func NewFaultBackend(inner Backend, cfg FaultConfig) *FaultBackend {
+	return &FaultBackend{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the injected-fault counters.
+func (f *FaultBackend) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// roll evaluates one probability on the seeded PRNG.
+func (f *FaultBackend) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64() < p
+}
+
+// intn draws from the seeded PRNG.
+func (f *FaultBackend) intn(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Intn(n)
+}
+
+func (f *FaultBackend) Segments() ([]string, error) { return f.inner.Segments() }
+
+// Open injects read-time bit rot: with probability FlipRead the
+// returned stream has one random bit flipped.
+func (f *FaultBackend) Open(name string) (io.ReadCloser, error) {
+	rc, err := f.inner.Open(name)
+	if err != nil || !f.roll(f.cfg.FlipRead) {
+		return rc, err
+	}
+	buf, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > 0 {
+		i := f.intn(len(buf) * 8)
+		buf[i/8] ^= 1 << (i % 8)
+		f.mu.Lock()
+		f.stats.FlipReads++
+		f.mu.Unlock()
+	}
+	return io.NopCloser(bytes.NewReader(buf)), nil
+}
+
+func (f *FaultBackend) Create(name string) (SegmentWriter, error) {
+	w, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{f: f, w: w}, nil
+}
+
+type faultWriter struct {
+	f *FaultBackend
+	w SegmentWriter
+}
+
+// Write persists only a random proper prefix with probability
+// ShortWrite, while reporting full success — the tear is only
+// discoverable at replay, as on real hardware.
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if len(p) > 1 && fw.f.roll(fw.f.cfg.ShortWrite) {
+		keep := 1 + fw.f.intn(len(p)-1)
+		fw.f.mu.Lock()
+		fw.f.stats.ShortWrites++
+		fw.f.mu.Unlock()
+		if _, err := fw.w.Write(p[:keep]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return fw.w.Write(p)
+}
+
+func (fw *faultWriter) Sync() error {
+	if fw.f.roll(fw.f.cfg.SyncErr) {
+		fw.f.mu.Lock()
+		fw.f.stats.SyncErrs++
+		fw.f.mu.Unlock()
+		return ErrInjectedSync
+	}
+	return fw.w.Sync()
+}
+
+func (fw *faultWriter) Close() error { return fw.w.Close() }

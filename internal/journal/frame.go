@@ -1,0 +1,185 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk layout. All integers are little-endian.
+//
+// A segment is a sequence of sealed batches:
+//
+//	batch header (56 bytes):
+//	  [ 4] magic "GNTB"
+//	  [ 8] seq        — monotone batch sequence number
+//	  [ 4] records    — record count
+//	  [ 4] payloadLen — byte length of the records region
+//	  [32] merkleRoot — root over the records' leaf hashes
+//	  [ 4] headerCRC  — CRC-32C over bytes 4..52 (seq..root)
+//	records region (payloadLen bytes), per record:
+//	  [ 4] frameLen   — payload byte length
+//	  [ 4] frameCRC   — CRC-32C over the payload
+//	  [frameLen] payload:
+//	       [4] keyLen, key, [4] status, [4] bodyLen, body
+//
+// The header is written in the same buffered write as its records, so
+// the Merkle root is known before any byte reaches storage, and one
+// Sync after the write seals the batch (fsync-on-seal). Replay trusts
+// a header only after its CRC verifies, trusts a record only after its
+// frame CRC verifies, and trusts a batch only after the recomputed
+// root matches the sealed root.
+
+const (
+	batchMagic      = "GNTB"
+	batchHeaderSize = 4 + 8 + 4 + 4 + 32 + 4
+	recordFrameSize = 8 // frameLen + frameCRC
+)
+
+// castagnoli is the CRC-32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeRecordPayload renders one record's payload (the CRC- and
+// Merkle-covered bytes).
+func encodeRecordPayload(r Record) []byte {
+	p := make([]byte, 0, 12+len(r.Key)+len(r.Body))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(r.Key)))
+	p = append(p, r.Key...)
+	p = binary.LittleEndian.AppendUint32(p, uint32(r.Status))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(r.Body)))
+	p = append(p, r.Body...)
+	return p
+}
+
+// decodeRecordPayload parses one record payload. The returned record's
+// Body is a copy, never an alias of buf: replayed bytes outlive the
+// segment buffer they were read from.
+func decodeRecordPayload(p []byte) (Record, error) {
+	if len(p) < 4 {
+		return Record{}, fmt.Errorf("payload too short for key length")
+	}
+	keyLen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint32(len(p)) < keyLen+8 {
+		return Record{}, fmt.Errorf("payload too short for key+status")
+	}
+	key := string(p[:keyLen])
+	p = p[keyLen:]
+	status := binary.LittleEndian.Uint32(p)
+	bodyLen := binary.LittleEndian.Uint32(p[4:])
+	p = p[8:]
+	if uint32(len(p)) != bodyLen {
+		return Record{}, fmt.Errorf("body length %d, have %d bytes", bodyLen, len(p))
+	}
+	body := make([]byte, bodyLen)
+	copy(body, p)
+	return Record{Key: key, Status: int(status), Body: body}, nil
+}
+
+// encodeBatch renders one sealed batch: header (with the Merkle root
+// over the records' leaf hashes) followed by the framed records.
+func encodeBatch(seq uint64, recs []Record) []byte {
+	payload := make([]byte, 0, 256*len(recs))
+	leaves := make([][32]byte, len(recs))
+	for i, r := range recs {
+		p := encodeRecordPayload(r)
+		leaves[i] = leafHash(p)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(p)))
+		payload = binary.LittleEndian.AppendUint32(payload, crc32.Checksum(p, castagnoli))
+		payload = append(payload, p...)
+	}
+	root := merkleRoot(leaves)
+
+	buf := make([]byte, 0, batchHeaderSize+len(payload))
+	buf = append(buf, batchMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, root[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[4:batchHeaderSize-4], castagnoli))
+	return append(buf, payload...)
+}
+
+// batchHeader is a decoded, CRC-verified batch header.
+type batchHeader struct {
+	seq        uint64
+	records    uint32
+	payloadLen uint32
+	root       [32]byte
+}
+
+// decodeBatchHeader parses and verifies the 56-byte header at the
+// start of buf. A false second result means the header is corrupt (bad
+// magic or CRC) and nothing in it may be trusted.
+func decodeBatchHeader(buf []byte) (batchHeader, bool) {
+	if len(buf) < batchHeaderSize || string(buf[:4]) != batchMagic {
+		return batchHeader{}, false
+	}
+	want := binary.LittleEndian.Uint32(buf[batchHeaderSize-4:])
+	if crc32.Checksum(buf[4:batchHeaderSize-4], castagnoli) != want {
+		return batchHeader{}, false
+	}
+	var h batchHeader
+	h.seq = binary.LittleEndian.Uint64(buf[4:])
+	h.records = binary.LittleEndian.Uint32(buf[12:])
+	h.payloadLen = binary.LittleEndian.Uint32(buf[16:])
+	copy(h.root[:], buf[20:52])
+	return h, true
+}
+
+// decodeBatchRecords parses the records region of a batch whose header
+// verified, checking every frame CRC and the Merkle seal. Any failure
+// returns an error and NO records: a batch is admitted whole or not at
+// all — partial admission would break the seal's integrity claim.
+func decodeBatchRecords(h batchHeader, region []byte) ([]Record, error) {
+	recs := make([]Record, 0, h.records)
+	leaves := make([][32]byte, 0, h.records)
+	off := 0
+	for i := uint32(0); i < h.records; i++ {
+		if len(region)-off < recordFrameSize {
+			return nil, fmt.Errorf("record %d: region exhausted", i)
+		}
+		frameLen := binary.LittleEndian.Uint32(region[off:])
+		frameCRC := binary.LittleEndian.Uint32(region[off+4:])
+		off += recordFrameSize
+		if uint32(len(region)-off) < frameLen {
+			return nil, fmt.Errorf("record %d: frame length %d exceeds region", i, frameLen)
+		}
+		p := region[off : off+int(frameLen)]
+		off += int(frameLen)
+		if crc32.Checksum(p, castagnoli) != frameCRC {
+			return nil, fmt.Errorf("record %d: frame CRC mismatch", i)
+		}
+		rec, err := decodeRecordPayload(p)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+		leaves = append(leaves, leafHash(p))
+	}
+	if off != len(region) {
+		return nil, fmt.Errorf("%d trailing bytes after last record", len(region)-off)
+	}
+	if merkleRoot(leaves) != h.root {
+		return nil, fmt.Errorf("merkle root mismatch")
+	}
+	return recs, nil
+}
+
+// SegmentName renders the canonical zero-padded segment file name, so
+// lexicographic order is commit order.
+func SegmentName(index int) string { return fmt.Sprintf("journal-%08d.seg", index) }
+
+// nextSegmentIndex picks the first unused segment index given the
+// existing (canonically named) segments.
+func nextSegmentIndex(names []string) int {
+	next := 0
+	for _, n := range names {
+		var i int
+		if _, err := fmt.Sscanf(n, "journal-%08d.seg", &i); err == nil && i >= next {
+			next = i + 1
+		}
+	}
+	return next
+}

@@ -38,3 +38,33 @@ const (
 	CounterAdmitWon  = "engine.admission.won"
 	CounterAdmitShed = "engine.admission.shed"
 )
+
+// Canonical span and counter names of the durable result journal
+// (internal/journal) and its replay path.
+const (
+	// SpanJournalFlush wraps one group commit: encode the pending
+	// batch, append it to the current segment, fsync (seal).
+	SpanJournalFlush = "journal.flush"
+	// SpanJournalReplay wraps one startup replay pass over the
+	// journal's segments.
+	SpanJournalReplay = "journal.replay"
+
+	// CounterJournalAppend counts records enqueued for group commit.
+	CounterJournalAppend = "journal.append"
+	// CounterJournalSealed counts batches sealed (Merkle root written,
+	// fsync'd); CounterJournalSealedRecords counts the records inside
+	// them.
+	CounterJournalSealed        = "journal.sealed"
+	CounterJournalSealedRecords = "journal.sealed.records"
+	// CounterJournalReplayed counts records verified and delivered by
+	// replay.
+	CounterJournalReplayed = "journal.replayed"
+	// CounterJournalCorruptBatch / CounterJournalCorruptRecord count
+	// batches dropped whole at replay (header corruption, record CRC
+	// failure, Merkle root mismatch) and the records lost inside them.
+	CounterJournalCorruptBatch  = "journal.corrupt.batch"
+	CounterJournalCorruptRecord = "journal.corrupt.record"
+	// CounterJournalTornTail counts segments that ended mid-batch — the
+	// expected shape of a crash between a write and its fsync.
+	CounterJournalTornTail = "journal.torn_tail"
+)

@@ -24,7 +24,7 @@ import (
 // whole upload and starved fast requests behind it. With MaxInFlight=1,
 // a stalled upload must not block a concurrent well-formed request.
 func TestSlowBodyDoesNotHoldSlot(t *testing.T) {
-	srv := New(Config{MaxInFlight: 1, QueueTimeout: 5 * time.Second})
+	srv := mustNew(t, Config{MaxInFlight: 1, QueueTimeout: 5 * time.Second})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -72,7 +72,7 @@ func TestSlowBodyDoesNotHoldSlot(t *testing.T) {
 // TestAdmissionCountersInHealthz: admission outcomes (slot won, shed on
 // queue timeout) surface in the engine stats that /healthz renders.
 func TestAdmissionCountersInHealthz(t *testing.T) {
-	srv := New(Config{MaxInFlight: 1, QueueTimeout: 30 * time.Millisecond})
+	srv := mustNew(t, Config{MaxInFlight: 1, QueueTimeout: 30 * time.Millisecond})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -122,7 +122,7 @@ func TestListenAndServeReportsBindError(t *testing.T) {
 	}
 	defer ln.Close()
 
-	srv := New(Config{Addr: ln.Addr().String()})
+	srv := mustNew(t, Config{Addr: ln.Addr().String()})
 	defer srv.Close()
 	// canceled ctx: the select races the bind failure against shutdown
 	ctx, cancel := context.WithCancel(context.Background())
@@ -143,7 +143,7 @@ func TestListenAndServeCleanShutdown(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close() // free the port for the server
 
-	srv := New(Config{Addr: addr})
+	srv := mustNew(t, Config{Addr: addr})
 	defer srv.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
@@ -215,7 +215,7 @@ func corpusSources(t *testing.T) map[string]string {
 // response is byte-for-byte the cold response, the disposition header
 // flips miss -> hit, and the hit shows up in /healthz engine stats.
 func TestCacheColdWarmByteIdentical(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -240,7 +240,7 @@ func TestCacheColdWarmByteIdentical(t *testing.T) {
 // TestCacheKeyedOnParameters: execution parameters are part of the
 // content address — same source, different params must not alias.
 func TestCacheKeyedOnParameters(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -266,7 +266,7 @@ func TestCacheKeyedOnParameters(t *testing.T) {
 // they lead, follow the in-flight leader, or hit the already-stored
 // result — all receive identical bytes, and the analysis runs once.
 func TestCacheHerdByteIdentical(t *testing.T) {
-	srv := New(Config{MaxInFlight: 16})
+	srv := mustNew(t, Config{MaxInFlight: 16})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -303,7 +303,7 @@ func TestCacheHerdByteIdentical(t *testing.T) {
 // TestChaosBypassesCache: fault-injected requests must never be stored
 // or shared — each one computes, marked bypass.
 func TestChaosBypassesCache(t *testing.T) {
-	srv := New(Config{AllowChaos: true})
+	srv := mustNew(t, Config{AllowChaos: true})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -342,7 +342,7 @@ func postBatch(t *testing.T, url string, breq BatchRequest) (*http.Response, *Ba
 // program verified, one malformed item isolated to its slot, and a
 // duplicated program served byte-identical to its twin from the cache.
 func TestBatchEndpoint(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -387,7 +387,7 @@ func TestBatchEndpoint(t *testing.T) {
 // batch stress the cache's single-flight under the race detector; the
 // analysis must run once and every slot must carry identical bytes.
 func TestBatchDuplicateHammer(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -417,7 +417,7 @@ func TestBatchDuplicateHammer(t *testing.T) {
 // TestBatchLimits: empty and oversized batches are rejected with
 // structured errors before admission.
 func TestBatchLimits(t *testing.T) {
-	srv := New(Config{MaxBatch: 4})
+	srv := mustNew(t, Config{MaxBatch: 4})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -50,7 +50,7 @@ func loadCorpus(t *testing.T) []string {
 // The stream is 200 requests by default; set GNT_CHAOS_SECONDS to run
 // time-boxed instead (the CI soak job uses 60).
 func TestChaos(t *testing.T) {
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		MaxInFlight:    4,
 		QueueTimeout:   5 * time.Second,
 		RequestTimeout: 5 * time.Second,
@@ -58,6 +58,9 @@ func TestChaos(t *testing.T) {
 		MaxSourceBytes: 1 << 16,
 		AllowChaos:     true,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

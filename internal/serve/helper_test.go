@@ -1,0 +1,16 @@
+package serve
+
+import "testing"
+
+// mustNew builds a Server for a test, failing on config errors (none
+// of the test configs use fallible journal storage) and closing it
+// when the test ends.
+func mustNew(tb testing.TB, cfg Config) *Server {
+	tb.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("serve.New: %v", err)
+	}
+	tb.Cleanup(func() { _ = s.Close() })
+	return s
+}

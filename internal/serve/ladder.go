@@ -128,6 +128,19 @@ type Response struct {
 
 	Error string `json:"error,omitempty"`
 	Code  string `json:"code,omitempty"` // machine-readable error class
+
+	// Admission reports the server's admission-queue totals at the time
+	// of the response. Attached only to overload (429) answers, so a
+	// shed client can see whether it hit a blip (won >> shed) or a
+	// sustained storm (shed climbing toward won).
+	Admission *AdmissionCounts `json:"admission,omitempty"`
+}
+
+// AdmissionCounts is the won-versus-shed admission balance echoed in
+// overload responses.
+type AdmissionCounts struct {
+	Won  int64 `json:"won"`
+	Shed int64 `json:"shed"`
 }
 
 // maxDiagnostics bounds the diagnostics echoed into a response.

@@ -23,7 +23,7 @@ enddo
 
 func analyze(t *testing.T, cfg Config, req *Request) *Response {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	return s.Analyze(ctx, req)
@@ -75,7 +75,7 @@ func TestLadderRungs(t *testing.T) {
 			if tc.name == "rung3-atomic-floor" {
 				// burn the deadline before the ladder starts so rungs 1-2
 				// cannot run and the detached atomic floor must answer
-				s := New(tc.cfg)
+				s := mustNew(t, tc.cfg)
 				ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
 				defer cancel()
 				time.Sleep(time.Millisecond)
@@ -158,7 +158,7 @@ enddo
 // TestLadderCancellation: a canceled client context aborts the whole
 // ladder quickly with a canceled response, not a fallback placement.
 func TestLadderCancellation(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()

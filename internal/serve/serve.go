@@ -31,11 +31,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"givetake/internal/comm"
 	"givetake/internal/engine"
+	"givetake/internal/journal"
 )
 
 // Defaults for the zero Config.
@@ -74,6 +77,22 @@ type Config struct {
 	// AllowChaos honors fault-injection fields on requests. Never set
 	// in production; the chaos harness sets it.
 	AllowChaos bool
+
+	// JournalDir, when set, makes the result cache durable: cache fills
+	// group-commit to a segment journal under this directory, and a
+	// restart replays the verified records into a warm cache before
+	// /readyz reports ready.
+	JournalDir string
+	// JournalBackend overrides the journal's storage (tests inject a
+	// MemBackend or FaultBackend); it wins over JournalDir.
+	JournalBackend journal.Backend
+	// JournalFlushWait bounds how long an appended record may sit
+	// unsealed before the group commit fires; zero means the journal
+	// default (50ms).
+	JournalFlushWait time.Duration
+	// JournalMaxBatch bounds records per group commit; zero means the
+	// journal default (64).
+	JournalMaxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,35 +123,99 @@ type Server struct {
 	cfg      Config
 	sem      chan struct{}
 	engine   *engine.Engine
+	journal  *journal.Journal
 	inFlight atomic.Int64
 	served   atomic.Int64
 	shed     atomic.Int64
 	mux      *http.ServeMux
+
+	ready     atomic.Bool // journal replay complete (or no journal)
+	replayMu  sync.Mutex
+	replay    journal.ReplayStats
+	replayErr error
 }
 
-// New builds a Server from cfg (zero fields take defaults).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (zero fields take defaults). With a
+// journal configured (JournalDir or JournalBackend), New opens the
+// segment log, starts replaying it into the result cache in the
+// background, and /readyz reports 503 until the replay finishes; the
+// error return covers journal storage that cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	backend := cfg.JournalBackend
+	if backend == nil && cfg.JournalDir != "" {
+		fb, err := journal.NewFileBackend(cfg.JournalDir)
+		if err != nil {
+			return nil, fmt.Errorf("journal dir: %w", err)
+		}
+		backend = fb
+	}
+	var jn *journal.Journal
+	if backend != nil {
+		j, err := journal.Open(journal.Config{
+			Backend:  backend,
+			MaxBatch: cfg.JournalMaxBatch,
+			MaxWait:  cfg.JournalFlushWait,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("journal open: %w", err)
+		}
+		jn = j
+	}
 	s := &Server{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		journal: jn,
 		engine: engine.New(engine.Config{
 			Workers:    cfg.Workers,
 			CacheBytes: cfg.CacheBytes,
+			Journal:    jn,
 		}),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	return s
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if jn == nil {
+		s.ready.Store(true)
+	} else {
+		go s.warm()
+	}
+	return s, nil
 }
 
-// Close stops the server's engine workers. Call once serving is done.
-func (s *Server) Close() { s.engine.Close() }
+// warm replays the journal into the result cache, then flips ready.
+// Corruption in the log is counted and skipped by the journal layer —
+// only backend access failures surface as a replay error, and even
+// then the node becomes ready (cold) rather than wedged.
+func (s *Server) warm() {
+	rs, err := s.engine.WarmFromJournal(context.Background())
+	s.replayMu.Lock()
+	s.replay, s.replayErr = rs, err
+	s.replayMu.Unlock()
+	s.ready.Store(true)
+}
+
+// Close stops the engine workers and drains the journal: the pending
+// batch group-commits before the process exits, so a graceful shutdown
+// loses nothing. (A crash loses at most the unsealed tail — that is
+// the durability contract.)
+func (s *Server) Close() error {
+	s.engine.Close()
+	return s.journal.Close()
+}
 
 // Engine exposes the server's analysis engine (stats, tests).
 func (s *Server) Engine() *engine.Engine { return s.engine }
+
+// Journal exposes the server's result journal (nil when not
+// configured); the crash harness uses it to simulate SIGKILL.
+func (s *Server) Journal() *journal.Journal { return s.journal }
+
+// Ready reports whether startup replay has completed (always true
+// without a journal).
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Handler returns the service's HTTP handler with the outermost panic
 // boundary installed.
@@ -190,14 +273,48 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	}
 }
 
+// JournalHealth is the journal block of the healthz payload: write-side
+// lag and flush timing from the live journal, plus what startup replay
+// verified, skipped, and delivered.
+type JournalHealth struct {
+	// Stats carries pending (unsealed) records/bytes — the durability
+	// lag — plus sealed totals and last/max flush latency.
+	Stats journal.Stats `json:"stats"`
+	// Replay is the startup replay's accounting: batches and records
+	// delivered, corruption counted and skipped.
+	Replay journal.ReplayStats `json:"replay"`
+	// ReplayDone mirrors /readyz; ReplayError is a backend access
+	// failure during replay (corruption is never an error).
+	ReplayDone  bool   `json:"replay_done"`
+	ReplayError string `json:"replay_error,omitempty"`
+}
+
 // Health is the healthz payload.
 type Health struct {
-	OK          bool         `json:"ok"`
-	InFlight    int64        `json:"in_flight"`
-	MaxInFlight int          `json:"max_in_flight"`
-	Served      int64        `json:"served"`
-	Shed        int64        `json:"shed"`
-	Engine      engine.Stats `json:"engine"`
+	OK          bool           `json:"ok"`
+	InFlight    int64          `json:"in_flight"`
+	MaxInFlight int            `json:"max_in_flight"`
+	Served      int64          `json:"served"`
+	Shed        int64          `json:"shed"`
+	Engine      engine.Stats   `json:"engine"`
+	Journal     *JournalHealth `json:"journal,omitempty"`
+}
+
+func (s *Server) journalHealth() *JournalHealth {
+	if s.journal == nil {
+		return nil
+	}
+	s.replayMu.Lock()
+	jh := &JournalHealth{
+		Stats:      s.journal.Stats(),
+		Replay:     s.replay,
+		ReplayDone: s.ready.Load(),
+	}
+	if s.replayErr != nil {
+		jh.ReplayError = s.replayErr.Error()
+	}
+	s.replayMu.Unlock()
+	return jh
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -208,7 +325,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Served:      s.served.Load(),
 		Shed:        s.shed.Load(),
 		Engine:      s.engine.Stats(),
+		Journal:     s.journalHealth(),
 	})
+}
+
+// Readiness is the readyz payload.
+type Readiness struct {
+	Ready bool `json:"ready"`
+	// Replayed is the records warmed into the cache (0 until ready).
+	Replayed int64 `json:"replayed"`
+}
+
+// handleReadyz gates traffic on startup replay: 503 while the journal
+// is still warming the cache, 200 after (immediately, without a
+// journal). Load balancers poll this; /healthz stays 200 throughout
+// because the process is alive either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, Readiness{})
+		return
+	}
+	s.replayMu.Lock()
+	replayed := s.replay.Records
+	s.replayMu.Unlock()
+	writeJSON(w, http.StatusOK, Readiness{Ready: true, Replayed: replayed})
 }
 
 // decodeRequest reads and validates one Request body. It runs BEFORE
@@ -261,13 +401,32 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 	case <-timer.C:
 		s.shed.Add(1)
 		s.engine.NoteAdmission(false)
+		// Retry-After tells well-behaved clients to back off for about
+		// one queue-timeout window — retrying sooner would just re-queue
+		// into the same congestion and shed again.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.QueueTimeout)))
+		pool := s.engine.Stats().Pool
 		writeJSON(w, http.StatusTooManyRequests, &Response{
 			Error: "server at capacity; retry later", Code: "overloaded",
+			Admission: &AdmissionCounts{
+				Won:  pool.AdmissionWon,
+				Shed: pool.AdmissionShed,
+			},
 		})
 		return nil
 	case <-r.Context().Done():
 		return nil // client gone while queued; nothing to say to no one
 	}
+}
+
+// retryAfterSeconds rounds the queue timeout up to whole seconds,
+// floored at 1 (Retry-After: 0 invites an immediate retry storm).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // statusFor maps a structured response to its transport status.

@@ -30,7 +30,7 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, *Response) {
 }
 
 func TestHTTPAnalyzeRoundTrip(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}).Handler())
+	ts := httptest.NewServer(mustNew(t, Config{}).Handler())
 	defer ts.Close()
 
 	hr, resp := postJSON(t, ts.URL, Request{Source: goodSrc, Execute: true})
@@ -52,7 +52,7 @@ func TestHTTPAnalyzeRoundTrip(t *testing.T) {
 }
 
 func TestHTTPStatusCodes(t *testing.T) {
-	ts := httptest.NewServer(New(Config{MaxSourceBytes: 512}).Handler())
+	ts := httptest.NewServer(mustNew(t, Config{MaxSourceBytes: 512}).Handler())
 	defer ts.Close()
 
 	t.Run("parse-error-422", func(t *testing.T) {
@@ -102,7 +102,7 @@ func TestHTTPStatusCodes(t *testing.T) {
 }
 
 func TestHTTPHealthz(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}).Handler())
+	ts := httptest.NewServer(mustNew(t, Config{}).Handler())
 	defer ts.Close()
 	hr, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -127,7 +127,7 @@ func TestHTTPAdmissionControl(t *testing.T) {
 		QueueTimeout: 50 * time.Millisecond,
 		AllowChaos:   true,
 	}
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -89,6 +89,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	journalDir := fs.String("journal-dir", "", "durable result journal directory for -mode serve (empty: no journal)")
 	journalFlushMS := fs.Int64("journal-flush-ms", 0, "max time a result waits for group commit, in ms (0: default 50)")
 	journalMaxBatch := fs.Int("journal-max-batch", 0, "max results per journal group commit (0: default 64)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for -mode serve (empty: off)")
+	accessLogEvery := fs.Int("access-log-every", 0, "log every nth analysis request as a JSON line to stderr (0: off, 1: all)")
 	atomic := fs.Bool("atomic", false, "emit atomic READ/WRITE instead of Send/Recv halves")
 	explain := fs.String("explain", "", "explain the placement at a node (preorder number, or \"all\")")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON profile to this file")
@@ -112,6 +114,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			addr: *addr, workers: *workers, cacheMB: *cacheMB,
 			journalDir: *journalDir, journalFlushMS: *journalFlushMS,
 			journalMaxBatch: *journalMaxBatch,
+			pprofAddr:       *pprofAddr,
+			accessLogEvery:  *accessLogEvery,
 		}, stderr)
 	}
 
@@ -132,7 +136,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if program == "" {
 		program = "<stdin>"
 	}
-	end := obs.Begin(col, "parse")
+	end := obs.Begin(col, obs.SpanParse)
 	prog, err := gt.Parse(src)
 	if err != nil {
 		end()
@@ -177,6 +181,8 @@ type serveFlags struct {
 	journalDir      string
 	journalFlushMS  int64
 	journalMaxBatch int
+	pprofAddr       string
+	accessLogEvery  int
 }
 
 // runServe starts the hardened analysis service (internal/serve) and
@@ -189,11 +195,18 @@ func runServe(f serveFlags, stderr io.Writer) error {
 	if f.cacheMB < 0 {
 		cacheBytes = -1
 	}
+	var accessLog io.Writer
+	if f.accessLogEvery > 0 {
+		accessLog = stderr
+	}
 	s, err := serve.New(serve.Config{
 		Addr: f.addr, Workers: f.workers, CacheBytes: cacheBytes,
 		JournalDir:       f.journalDir,
 		JournalFlushWait: time.Duration(f.journalFlushMS) * time.Millisecond,
 		JournalMaxBatch:  f.journalMaxBatch,
+		PprofAddr:        f.pprofAddr,
+		AccessLog:        accessLog,
+		AccessLogEvery:   f.accessLogEvery,
 	})
 	if err != nil {
 		return err
@@ -203,8 +216,12 @@ func runServe(f serveFlags, stderr io.Writer) error {
 	if f.journalDir != "" {
 		durable = fmt.Sprintf("; journal %s", f.journalDir)
 	}
-	fmt.Fprintf(stderr, "gnt: serving on %s (POST /analyze, POST /batch, GET /healthz, GET /readyz; %d workers%s)\n",
-		f.addr, s.Engine().Workers(), durable)
+	profiling := ""
+	if f.pprofAddr != "" {
+		profiling = fmt.Sprintf("; pprof %s", f.pprofAddr)
+	}
+	fmt.Fprintf(stderr, "gnt: serving on %s (POST /analyze, POST /batch, GET /healthz, GET /readyz, GET /metrics, GET /debug/requests; %d workers%s%s)\n",
+		f.addr, s.Engine().Workers(), durable, profiling)
 	err = s.ListenAndServe(ctx)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
@@ -328,7 +345,7 @@ func variants(prog *ir.Program, a *comm.Analysis, col obs.Collector) []struct {
 		p    *ir.Program
 	}, 0, 3)
 	build := func(name string, f func() *ir.Program) {
-		end := obs.Begin(col, "placement:"+name)
+		end := obs.Begin(col, obs.SpanPrefixPlacement+name)
 		p := f()
 		end()
 		out = append(out, struct {
@@ -362,7 +379,7 @@ func runMachine(prog *ir.Program, cfgRun interp.Config, stdout io.Writer) error 
 	reports := make([]string, 0, len(rows))
 	for _, r := range rows {
 		cfgV := cfgRun
-		cfgV.SpanName = "execute:" + r.name
+		cfgV.SpanName = obs.SpanPrefixExecute + r.name
 		tr, err := interp.Run(r.p, cfgV)
 		if err != nil {
 			return err
@@ -408,7 +425,7 @@ func runStats(prog *ir.Program, cfgRun interp.Config, rec *obs.Recorder, col obs
 	}
 	for _, r := range variants(prog, a, col) {
 		cfgV := cfgRun
-		cfgV.SpanName = "execute:" + r.name
+		cfgV.SpanName = obs.SpanPrefixExecute + r.name
 		tr, err := interp.Run(r.p, cfgV)
 		if err != nil {
 			return err

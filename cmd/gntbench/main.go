@@ -25,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -41,6 +42,7 @@ import (
 	"givetake/internal/engine"
 	"givetake/internal/journal"
 	"givetake/internal/obs"
+	"givetake/internal/telemetry"
 
 	gt "givetake"
 )
@@ -56,7 +58,12 @@ import (
 // v5 added the durable-journal comparison: a "journal" block with group
 // commit flush latency, replay stats, and cold versus journal-warmed
 // restart sweep wall times, present when -parallel is given.
-const Schema = "gnt-bench/v5"
+// v6 added the telemetry block: the parallel sweeps run with the
+// process metrics bridge attached, the exposition is scraped and
+// strictly parsed throughout, and the artifact records the final gauge
+// snapshot plus per-stage latency histogram summaries, present when
+// -parallel is given.
+const Schema = "gnt-bench/v6"
 
 // DefaultTimeout is the per-program wall-clock budget.
 const DefaultTimeout = 30 * time.Second
@@ -75,6 +82,31 @@ type artifact struct {
 	// an engine fills a journal, "dies", and a fresh engine replays the
 	// log into its cache before sweeping again.
 	Journal *journalBench `json:"journal,omitempty"`
+	// Obs is the telemetry scrape of the parallel sweeps: gauge
+	// snapshots and per-stage latency summaries from the same metrics
+	// registry gnt -mode serve exposes at /metrics.
+	Obs *obsBench `json:"obs,omitempty"`
+}
+
+// obsBench is the telemetry block of the artifact. The parallel
+// sweeps' engine reports through a telemetry.Bridge, a background
+// scraper renders and strictly parses the exposition while the sweeps
+// run (a malformed document fails the bench), and the final scrape is
+// summarized here.
+type obsBench struct {
+	// Scrapes counts the strict mid-sweep parses, final scrape included.
+	Scrapes int `json:"scrapes"`
+	// Gauges is the final scrape's gauge value per family.
+	Gauges map[string]float64 `json:"gauges"`
+	// Stages summarizes gnt_stage_duration_seconds per stage label.
+	Stages map[string]stageSummary `json:"stages"`
+}
+
+// stageSummary condenses one stage's latency histogram.
+type stageSummary struct {
+	Count  float64 `json:"count"`
+	SumMS  float64 `json:"sum_ms"`
+	MeanMS float64 `json:"mean_ms"`
 }
 
 // journalBench is the durable-journal block of the artifact.
@@ -158,11 +190,11 @@ func run(dirs []string, out string, timeout time.Duration, parallel int, assertS
 	serialWall := time.Since(serialStart)
 
 	if parallel > 0 {
-		tm, cs, err := benchParallel(files, parallel, timeout, serialWall)
+		tm, cs, ob, err := benchParallel(files, parallel, timeout, serialWall)
 		if err != nil {
 			return err
 		}
-		art.Timing, art.Cache = tm, cs
+		art.Timing, art.Cache, art.Obs = tm, cs, ob
 		if assertSpeedup > 0 && tm.Speedup < assertSpeedup {
 			return fmt.Errorf("parallel sweep too slow: speedup %.2f < required %.2f (serial %.1fms, parallel %.1fms)",
 				tm.Speedup, assertSpeedup, tm.SerialWallMS, tm.ParallelWallMS)
@@ -296,25 +328,81 @@ func bench(ctx context.Context, file string) (*obs.Report, error) {
 // program is served stored bytes. Any per-program failure fails the
 // sweep — the serial pass already proved the corpus analyzes, so a
 // parallel-only failure is an engine bug, not a corpus problem.
-func benchParallel(files []string, workers int, timeout time.Duration, serialWall time.Duration) (*timing, *engine.CacheStats, error) {
-	e := engine.New(engine.Config{Workers: workers})
+//
+// The engine runs with the same telemetry bridge gnt -mode serve uses,
+// and a background scraper renders and strictly parses the exposition
+// throughout both sweeps; the final scrape becomes the artifact's obs
+// block.
+func benchParallel(files []string, workers int, timeout time.Duration, serialWall time.Duration) (*timing, *engine.CacheStats, *obsBench, error) {
+	reg := telemetry.NewRegistry()
+	bridge := telemetry.NewBridge(reg)
+	e := engine.New(engine.Config{Workers: workers, Collector: bridge})
 	defer e.Close()
+	reg.GaugeFunc(obs.MetricPoolWorkers,
+		"Size of the engine worker pool.",
+		func() float64 { return float64(e.Workers()) })
+	reg.GaugeFunc(obs.MetricPoolBusy,
+		"Engine pool tasks executing right now.",
+		func() float64 { return float64(e.Busy()) })
+	reg.GaugeFunc(obs.MetricCacheEntries,
+		"Resident result-cache entries.",
+		func() float64 { return float64(e.Stats().Cache.Entries) })
+	reg.GaugeFunc(obs.MetricCacheBytes,
+		"Resident result-cache bytes.",
+		func() float64 { return float64(e.Stats().Cache.Bytes) })
 	ctx, cancel := context.WithTimeout(context.Background(), timeout*time.Duration(len(files)))
 	defer cancel()
 
 	sources, err := readSources(files)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
-	coldWall, err := sweepEngine(ctx, e, files, sources)
-	if err != nil {
-		return nil, nil, fmt.Errorf("parallel cold sweep: %w", err)
+	stop := make(chan struct{})
+	type scraperReport struct {
+		scrapes int
+		err     error
 	}
-	warmWall, err := sweepEngine(ctx, e, files, sources)
+	scraperDone := make(chan scraperReport, 1)
+	go func() {
+		rep := scraperReport{}
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			if _, err := scrapeRegistry(reg); err != nil {
+				rep.err = err
+				scraperDone <- rep
+				return
+			}
+			rep.scrapes++
+			select {
+			case <-stop:
+				scraperDone <- rep
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+
+	coldWall, err := sweepEngine(ctx, e, files, sources, bridge)
 	if err != nil {
-		return nil, nil, fmt.Errorf("parallel warm sweep: %w", err)
+		close(stop)
+		return nil, nil, nil, fmt.Errorf("parallel cold sweep: %w", err)
 	}
+	warmWall, err := sweepEngine(ctx, e, files, sources, bridge)
+	close(stop)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("parallel warm sweep: %w", err)
+	}
+	srep := <-scraperDone
+	if srep.err != nil {
+		return nil, nil, nil, fmt.Errorf("mid-sweep telemetry scrape: %w", srep.err)
+	}
+	fams, err := scrapeRegistry(reg)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("final telemetry scrape: %w", err)
+	}
+	ob := buildObsBench(fams, srep.scrapes+1)
 
 	cs := e.Stats().Cache
 	tm := &timing{
@@ -327,10 +415,62 @@ func benchParallel(files []string, workers int, timeout time.Duration, serialWal
 		tm.Speedup = float64(serialWall) / float64(coldWall)
 	}
 	if cs.Hits != int64(len(files)) || cs.Misses != int64(len(files)) {
-		return nil, nil, fmt.Errorf("cache counters off: %d hits %d misses, want %d each (single-flight or keying bug)",
+		return nil, nil, nil, fmt.Errorf("cache counters off: %d hits %d misses, want %d each (single-flight or keying bug)",
 			cs.Hits, cs.Misses, len(files))
 	}
-	return tm, &cs, nil
+	if hits := fams.Sum(obs.MetricCacheEvents, map[string]string{"event": "hit"}); hits != float64(cs.Hits) {
+		return nil, nil, nil, fmt.Errorf("telemetry cache-hit counter %v disagrees with engine stats %d",
+			hits, cs.Hits)
+	}
+	return tm, &cs, ob, nil
+}
+
+// scrapeRegistry renders the registry's exposition and runs it through
+// the same strict parser the serve tests and CI smoke use — gntbench
+// doubles as a continuous format check on the metrics encoder.
+func scrapeRegistry(reg *telemetry.Registry) (telemetry.Families, error) {
+	var buf bytes.Buffer
+	if err := reg.Expose(&buf); err != nil {
+		return nil, err
+	}
+	return telemetry.ParseExposition(&buf)
+}
+
+// buildObsBench condenses one parsed exposition into the artifact's
+// obs block: every gauge family's value, and count/sum/mean per stage
+// of the stage-latency histogram.
+func buildObsBench(fams telemetry.Families, scrapes int) *obsBench {
+	ob := &obsBench{
+		Scrapes: scrapes,
+		Gauges:  map[string]float64{},
+		Stages:  map[string]stageSummary{},
+	}
+	for name, f := range fams {
+		if f.Type == "gauge" {
+			ob.Gauges[name] = fams.Sum(name, nil)
+		}
+	}
+	counts := map[string]float64{}
+	sums := map[string]float64{}
+	if f := fams[obs.MetricStageDuration]; f != nil {
+		for _, s := range f.Samples {
+			stage := s.Labels["stage"]
+			switch {
+			case strings.HasSuffix(s.Name, "_count"):
+				counts[stage] += s.Value
+			case strings.HasSuffix(s.Name, "_sum"):
+				sums[stage] += s.Value
+			}
+		}
+	}
+	for stage, c := range counts {
+		sm := stageSummary{Count: c, SumMS: sums[stage] * 1000}
+		if c > 0 {
+			sm.MeanMS = sm.SumMS / c
+		}
+		ob.Stages[stage] = sm
+	}
+	return ob
 }
 
 // readSources loads the corpus files once for the engine sweeps.
@@ -348,8 +488,9 @@ func readSources(files []string) ([]string, error) {
 
 // sweepEngine runs the whole corpus through e's cache-fronted pipeline
 // once, with fan-out bounded by the worker count, and returns the
-// sweep's wall time. Any per-program failure fails the sweep.
-func sweepEngine(ctx context.Context, e *engine.Engine, files, sources []string) (time.Duration, error) {
+// sweep's wall time. Any per-program failure fails the sweep. col (may
+// be nil) receives each job's pipeline stage spans.
+func sweepEngine(ctx context.Context, e *engine.Engine, files, sources []string, col obs.Collector) (time.Duration, error) {
 	errs := make([]error, len(files))
 	start := time.Now()
 	e.Map(ctx, len(files), func(ctx context.Context, i int) {
@@ -359,7 +500,7 @@ func sweepEngine(ctx context.Context, e *engine.Engine, files, sources []string)
 			if err != nil {
 				return engine.Cached{}, false, err
 			}
-			res, err := e.Analyze(ctx, engine.Job{Prog: prog})
+			res, err := e.Analyze(ctx, engine.Job{Prog: prog, Collector: col})
 			if err != nil {
 				return engine.Cached{}, false, err
 			}
@@ -406,7 +547,7 @@ func benchJournal(files []string, workers int, timeout time.Duration) (*journalB
 		return nil, err
 	}
 	e1 := engine.New(engine.Config{Workers: workers, Journal: j1})
-	coldWall, err := sweepEngine(ctx, e1, files, sources)
+	coldWall, err := sweepEngine(ctx, e1, files, sources, nil)
 	e1.Close()
 	if err != nil {
 		j1.Abort()
@@ -432,7 +573,7 @@ func benchJournal(files []string, workers int, timeout time.Duration) (*journalB
 		return nil, fmt.Errorf("replay delivered %d records with %d corrupt batches, want %d clean (stats %+v)",
 			rs.Records, rs.CorruptBatches, len(files), rs)
 	}
-	warmWall, err := sweepEngine(ctx, e2, files, sources)
+	warmWall, err := sweepEngine(ctx, e2, files, sources, nil)
 	if err != nil {
 		return nil, fmt.Errorf("journal-warmed sweep: %w", err)
 	}

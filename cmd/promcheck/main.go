@@ -1,0 +1,134 @@
+// Command promcheck strictly validates a Prometheus text exposition.
+// It reads a document from stdin (or -in file), runs it through the
+// same strict parser the telemetry unit tests and the chaos soak use,
+// and fails on anything a lenient scraper would shrug off: duplicate
+// or re-opened families, interleaved blocks, duplicate series, bad
+// escapes, timestamps.
+//
+// Usage:
+//
+//	curl -s localhost:8075/metrics | promcheck \
+//	    -require gnt_http_requests_total \
+//	    -require gnt_stage_duration_seconds=histogram \
+//	    -min 'gnt_http_requests_total=1'
+//
+// Each -require names a family that must be present with at least one
+// sample; an optional =type also pins its TYPE. Each -min asserts that
+// the family's samples (label-summed; histograms use their _count
+// series) total at least the given value. CI's telemetry smoke job
+// scrapes a live server through this tool, so the /metrics endpoint is
+// held to the strict grammar on every push.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"givetake/internal/telemetry"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var require, min multiFlag
+	in := flag.String("in", "-", "exposition file (\"-\" for stdin)")
+	list := flag.Bool("list", false, "print the parsed families and sample counts")
+	flag.Var(&require, "require", "family that must be present (repeatable; name or name=type)")
+	flag.Var(&min, "min", "family whose label-summed value must be >= N, as name=N (repeatable)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	fams, err := telemetry.ParseExposition(r)
+	if err != nil {
+		fail("exposition rejected: %v", err)
+	}
+	if *list {
+		names := make([]string, 0, len(fams))
+		for name := range fams {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f := fams[name]
+			fmt.Printf("%s %s %d\n", f.Name, f.Type, len(f.Samples))
+		}
+	}
+	bad := 0
+	for _, req := range require {
+		if err := checkRequire(fams, req); err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			bad++
+		}
+	}
+	for _, m := range min {
+		if err := checkMin(fams, m); err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkRequire asserts the family named by req ("name" or "name=type")
+// is present with at least one sample.
+func checkRequire(fams telemetry.Families, req string) error {
+	name, typ, hasType := strings.Cut(req, "=")
+	f, ok := fams[name]
+	if !ok {
+		return fmt.Errorf("required family %q is missing", name)
+	}
+	if hasType && f.Type != typ {
+		return fmt.Errorf("family %q has type %q, want %q", name, f.Type, typ)
+	}
+	if len(f.Samples) == 0 {
+		return fmt.Errorf("required family %q has no samples", name)
+	}
+	return nil
+}
+
+// checkMin asserts the family's label-summed value is at least N.
+// Histogram families are summed over their _count series, so the
+// threshold reads as "at least N observations".
+func checkMin(fams telemetry.Families, spec string) error {
+	name, val, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("bad -min %q, want name=N", spec)
+	}
+	want, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad -min threshold %q: %v", val, err)
+	}
+	sample := name
+	if f, present := fams[name]; present && f.Type == "histogram" {
+		sample = name + "_count"
+	}
+	got := fams.Sum(sample, nil)
+	if got < want {
+		return fmt.Errorf("%s = %v, want >= %v", sample, got, want)
+	}
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"givetake/internal/telemetry"
+)
+
+const doc = `# HELP gnt_http_requests_total Requests.
+# TYPE gnt_http_requests_total counter
+gnt_http_requests_total{route="/analyze",status="200"} 7
+gnt_http_requests_total{route="/analyze",status="429"} 2
+# TYPE gnt_ready gauge
+gnt_ready 1
+# TYPE gnt_stage_duration_seconds histogram
+gnt_stage_duration_seconds_bucket{stage="cfg-build",le="0.1"} 3
+gnt_stage_duration_seconds_bucket{stage="cfg-build",le="+Inf"} 3
+gnt_stage_duration_seconds_sum{stage="cfg-build"} 0.05
+gnt_stage_duration_seconds_count{stage="cfg-build"} 3
+`
+
+func parsed(t *testing.T) telemetry.Families {
+	t.Helper()
+	fams, err := telemetry.ParseExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+func TestCheckRequire(t *testing.T) {
+	fams := parsed(t)
+	for _, ok := range []string{
+		"gnt_http_requests_total",
+		"gnt_http_requests_total=counter",
+		"gnt_ready=gauge",
+		"gnt_stage_duration_seconds=histogram",
+	} {
+		if err := checkRequire(fams, ok); err != nil {
+			t.Errorf("require %q: unexpected %v", ok, err)
+		}
+	}
+	for _, bad := range []string{
+		"gnt_missing_family",
+		"gnt_ready=counter",
+	} {
+		if err := checkRequire(fams, bad); err == nil {
+			t.Errorf("require %q: want error", bad)
+		}
+	}
+}
+
+func TestCheckMin(t *testing.T) {
+	fams := parsed(t)
+	for _, ok := range []string{
+		"gnt_http_requests_total=9", // summed across label values
+		"gnt_ready=1",
+		"gnt_stage_duration_seconds=3", // histogram: its _count series
+	} {
+		if err := checkMin(fams, ok); err != nil {
+			t.Errorf("min %q: unexpected %v", ok, err)
+		}
+	}
+	for _, bad := range []string{
+		"gnt_http_requests_total=10",
+		"gnt_stage_duration_seconds=4",
+		"gnt_http_requests_total", // malformed spec
+		"gnt_ready=notanumber",
+	} {
+		if err := checkMin(fams, bad); err == nil {
+			t.Errorf("min %q: want error", bad)
+		}
+	}
+}

@@ -95,7 +95,7 @@ func AnalyzeCtx(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Ana
 // initial variables. Both the full analysis and the atomic fallback
 // start from exactly this state.
 func build(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
-	end := obs.Begin(ocol, "cfg-build")
+	end := obs.Begin(ocol, obs.SpanCFGBuild)
 	c, err := cfg.Build(prog)
 	if err != nil {
 		end()
@@ -105,7 +105,7 @@ func build(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	end = obs.Begin(ocol, "interval-reduce")
+	end = obs.Begin(ocol, obs.SpanIntervalReduce)
 	g, err := interval.FromCFG(c)
 	if err != nil {
 		end()
@@ -122,7 +122,7 @@ func build(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis
 		Graph:    g,
 		Universe: sections.NewUniverse(),
 	}
-	end = obs.Begin(ocol, "section-universe")
+	end = obs.Begin(ocol, obs.SpanSectionUniverse)
 	col := &collector{a: a, env: vn.NewEnv(a.Universe.Tab), ranges: map[string]sections.LoopRange{}}
 	col.walk(prog.Body)
 	if col.err != nil {
@@ -231,7 +231,7 @@ func Build(ctx context.Context, prog *ir.Program, ocol obs.Collector, opt Opts) 
 // graph. A non-nil arena backs the solution's slabs (core.SolveIn);
 // the solution then aliases it and dies with its next Reset.
 func (a *Analysis) SolveRead(ctx context.Context, ocol obs.Collector, ar *bitset.Arena) error {
-	end := obs.Begin(ocol, "solve-read")
+	end := obs.Begin(ocol, obs.SpanSolveRead)
 	read, err := core.SolveIn(ctx, a.Graph, a.Universe.Size(), a.ReadInit, ar)
 	if err != nil {
 		end()
@@ -246,7 +246,7 @@ func (a *Analysis) SolveRead(ctx context.Context, ocol obs.Collector, ar *bitset
 // problem on it. Independent of SolveRead: interval.Reverse clones the
 // nodes it reads, so the two solves may run concurrently.
 func (a *Analysis) SolveWrite(ctx context.Context, ocol obs.Collector, ar *bitset.Arena) error {
-	end := obs.Begin(ocol, "reverse-graph")
+	end := obs.Begin(ocol, obs.SpanReverseGraph)
 	rev, err := interval.Reverse(a.Graph)
 	if err != nil {
 		end()
@@ -255,7 +255,7 @@ func (a *Analysis) SolveWrite(ctx context.Context, ocol obs.Collector, ar *bitse
 	a.RevGraph = rev
 	end()
 
-	end = obs.Begin(ocol, "solve-write")
+	end = obs.Begin(ocol, obs.SpanSolveWrite)
 	write, err := core.SolveIn(ctx, rev, a.Universe.Size(), a.WriteInit, ar)
 	if err != nil {
 		end()
@@ -283,7 +283,7 @@ func AtomicFallback(prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
 		return nil, err
 	}
 	u := a.Universe.Size()
-	end := obs.Begin(ocol, "atomic-fallback")
+	end := obs.Begin(ocol, obs.SpanAtomicFallback)
 	a.Read, a.ReadInit = core.Atomic(a.Graph, u, a.ReadInit)
 	rev, err := interval.Reverse(a.Graph)
 	if err != nil {

@@ -51,7 +51,7 @@ func (a *Analysis) CheckPlacement(col obs.Collector) *check.Result {
 // the verifier's fixed point polls ctx and the whole check aborts with
 // ctx.Err() once it is canceled.
 func (a *Analysis) CheckPlacementCtx(ctx context.Context, col obs.Collector) (*check.Result, error) {
-	end := obs.Begin(col, "check")
+	end := obs.Begin(col, obs.SpanCheck)
 	probs := a.Problems()
 	res, err := check.VerifyAllCtx(ctx, probs...)
 	if err != nil {

@@ -83,6 +83,7 @@ type Engine struct {
 
 	tasksRun   atomic.Int64
 	taskPanics atomic.Int64
+	running    atomic.Int64
 	admitWon   atomic.Int64
 	admitShed  atomic.Int64
 	closed     atomic.Bool
@@ -143,6 +144,8 @@ func (p *PanicError) Error() string { return fmt.Sprintf("recovered panic: %v", 
 func (e *Engine) run(fn func() error) error {
 	done := make(chan error, 1)
 	e.tasks <- func() {
+		e.running.Add(1)
+		defer e.running.Add(-1)
 		defer func() {
 			if r := recover(); r != nil {
 				e.taskPanics.Add(1)
@@ -156,6 +159,10 @@ func (e *Engine) run(fn func() error) error {
 	}
 	return <-done
 }
+
+// Busy reports how many pool tasks are executing right now — the
+// occupancy the gnt_engine_pool_busy gauge samples at scrape time.
+func (e *Engine) Busy() int64 { return e.running.Load() }
 
 // parallel runs every fn as a pool task, waits for all, and returns the
 // first error in argument order (errors never hide behind a later nil).
@@ -347,6 +354,7 @@ func (e *Engine) AnalyzeBatch(ctx context.Context, items []BatchItem, col obs.Co
 // admission accounting the serving layer reports into it.
 type PoolStats struct {
 	Workers       int   `json:"workers"`
+	Busy          int64 `json:"busy"`
 	Tasks         int64 `json:"tasks"`
 	Panics        int64 `json:"panics"`
 	AdmissionWon  int64 `json:"admission_won"`
@@ -364,6 +372,7 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Pool: PoolStats{
 			Workers: e.cfg.Workers,
+			Busy:    e.running.Load(),
 			Tasks:   e.tasksRun.Load(),
 			Panics:  e.taskPanics.Load(),
 

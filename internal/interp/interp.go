@@ -160,7 +160,7 @@ func RunCtx(ctx context.Context, prog *ir.Program, cfg Config) (*Trace, error) {
 	cfg.MaxSteps = cfg.maxSteps()
 	spanName := cfg.SpanName
 	if spanName == "" {
-		spanName = "execute"
+		spanName = obs.SpanExecute
 	}
 	end := obs.Begin(cfg.Collector, spanName)
 	defer func() { end() }()

@@ -1,5 +1,39 @@
 package obs
 
+// Canonical span names of the sequential analysis pipeline. Every
+// stage span emitted anywhere in the repository must be declared here
+// (or carry one of the declared prefixes below); the name-drift test
+// in names_drift_test.go enforces it, and the telemetry layer keys its
+// per-stage latency histograms on exactly this vocabulary.
+const (
+	// SpanParse wraps the mini-Fortran frontend.
+	SpanParse = "parse"
+	// SpanCFGBuild wraps control-flow-graph construction.
+	SpanCFGBuild = "cfg-build"
+	// SpanIntervalReduce wraps the interval (loop-forest) reduction.
+	SpanIntervalReduce = "interval-reduce"
+	// SpanSectionUniverse wraps array-section universe collection.
+	SpanSectionUniverse = "section-universe"
+	// SpanSolveRead / SpanSolveWrite wrap the two dataflow solves;
+	// SpanReverseGraph wraps the graph reversal the WRITE solve needs.
+	SpanSolveRead    = "solve-read"
+	SpanSolveWrite   = "solve-write"
+	SpanReverseGraph = "reverse-graph"
+	// SpanAtomicFallback wraps the ladder's rung-3 placement.
+	SpanAtomicFallback = "atomic-fallback"
+	// SpanCheck wraps the static placement verification.
+	SpanCheck = "check"
+	// SpanExecute wraps one interpreter run (the default when
+	// interp.Config.SpanName is empty).
+	SpanExecute = "execute"
+
+	// SpanPrefixPlacement / SpanPrefixExecute are the declared dynamic
+	// prefixes: "placement:<variant>" annotation spans and
+	// "execute:<variant>" interpreter spans.
+	SpanPrefixPlacement = "placement:"
+	SpanPrefixExecute   = "execute:"
+)
+
 // Canonical span and counter names of the concurrent analysis engine
 // (internal/engine). They live here, next to the pipeline's own span
 // names, so every consumer of a Report or trace matches on one
@@ -68,3 +102,134 @@ const (
 	// expected shape of a crash between a write and its fsync.
 	CounterJournalTornTail = "journal.torn_tail"
 )
+
+// Canonical time-series metric names exported on /metrics by
+// internal/telemetry, in Prometheus exposition naming style. The
+// telemetry registry refuses to create a metric family whose name is
+// not declared here, so the scrape vocabulary cannot drift from this
+// file.
+const (
+	// MetricRequestsTotal counts HTTP requests by (route, status).
+	MetricRequestsTotal = "gnt_http_requests_total"
+	// MetricRequestDuration is the request-latency histogram by
+	// (route, rung, cache, status).
+	MetricRequestDuration = "gnt_http_request_duration_seconds"
+	// MetricInFlight gauges requests currently holding analysis slots.
+	MetricInFlight = "gnt_http_in_flight_requests"
+	// MetricReady gauges startup-replay readiness (0 warming, 1 ready).
+	MetricReady = "gnt_ready"
+
+	// MetricAdmissionTotal counts admission outcomes by
+	// (outcome: won|shed); MetricAdmissionWait is the queue-wait
+	// histogram by the same label.
+	MetricAdmissionTotal = "gnt_admission_total"
+	MetricAdmissionWait  = "gnt_admission_queue_wait_seconds"
+
+	// MetricLadderAttempts counts degradation-ladder attempts by
+	// (rung, outcome).
+	MetricLadderAttempts = "gnt_ladder_attempts_total"
+
+	// MetricStageDuration is the per-pipeline-stage wall-time histogram
+	// by (stage), bridged from the span vocabulary above.
+	MetricStageDuration = "gnt_stage_duration_seconds"
+
+	// Engine pool and result cache.
+	MetricPoolTasks    = "gnt_engine_pool_tasks_total"
+	MetricPoolPanics   = "gnt_engine_pool_panics_total"
+	MetricPoolBusy     = "gnt_engine_pool_busy"
+	MetricPoolWorkers  = "gnt_engine_pool_workers"
+	MetricCacheEvents  = "gnt_engine_cache_events_total" // by (event: hit|miss|follow|evict)
+	MetricCacheEntries = "gnt_engine_cache_entries"
+	MetricCacheBytes   = "gnt_engine_cache_bytes"
+
+	// Durable journal.
+	MetricJournalAppended      = "gnt_journal_appended_total"
+	MetricJournalSealedBatches = "gnt_journal_sealed_batches_total"
+	MetricJournalSealedRecords = "gnt_journal_sealed_records_total"
+	MetricJournalReplayed      = "gnt_journal_replayed_records_total"
+	MetricJournalCorrupt       = "gnt_journal_corrupt_total" // by (kind: batch|record)
+	MetricJournalTornTails     = "gnt_journal_torn_tails_total"
+	MetricJournalPending       = "gnt_journal_pending_records"
+
+	// MetricObsCounter is the catch-all family for declared obs
+	// counters with no dedicated metric mapping, labeled by (name).
+	MetricObsCounter = "gnt_obs_counter_total"
+)
+
+// Spans returns the declared exact span names.
+func Spans() []string {
+	return []string{
+		SpanParse, SpanCFGBuild, SpanIntervalReduce, SpanSectionUniverse,
+		SpanSolveRead, SpanSolveWrite, SpanReverseGraph, SpanAtomicFallback,
+		SpanCheck, SpanExecute,
+		SpanEngineAnalyze, SpanEngineVerify,
+		SpanJournalFlush, SpanJournalReplay,
+	}
+}
+
+// SpanPrefixes returns the declared dynamic span-name prefixes.
+func SpanPrefixes() []string {
+	return []string{SpanPrefixPlacement, SpanPrefixExecute}
+}
+
+// Counters returns the declared counter names.
+func Counters() []string {
+	return []string{
+		CounterCacheHit, CounterCacheMiss, CounterCacheFollow, CounterCacheEvict,
+		CounterPoolTask, CounterPoolPanic, CounterAdmitWon, CounterAdmitShed,
+		CounterJournalAppend, CounterJournalSealed, CounterJournalSealedRecords,
+		CounterJournalReplayed, CounterJournalCorruptBatch,
+		CounterJournalCorruptRecord, CounterJournalTornTail,
+	}
+}
+
+// Metrics returns the declared /metrics family names.
+func Metrics() []string {
+	return []string{
+		MetricRequestsTotal, MetricRequestDuration, MetricInFlight, MetricReady,
+		MetricAdmissionTotal, MetricAdmissionWait, MetricLadderAttempts,
+		MetricStageDuration,
+		MetricPoolTasks, MetricPoolPanics, MetricPoolBusy, MetricPoolWorkers,
+		MetricCacheEvents, MetricCacheEntries, MetricCacheBytes,
+		MetricJournalAppended, MetricJournalSealedBatches, MetricJournalSealedRecords,
+		MetricJournalReplayed, MetricJournalCorrupt, MetricJournalTornTails,
+		MetricJournalPending,
+		MetricObsCounter,
+	}
+}
+
+// KnownSpan reports whether name is a declared span name or carries a
+// declared dynamic prefix.
+func KnownSpan(name string) bool {
+	for _, s := range Spans() {
+		if name == s {
+			return true
+		}
+	}
+	for _, p := range SpanPrefixes() {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// KnownCounter reports whether name is a declared counter name.
+func KnownCounter(name string) bool {
+	for _, c := range Counters() {
+		if name == c {
+			return true
+		}
+	}
+	return false
+}
+
+// KnownMetric reports whether name is a declared metric family name.
+func KnownMetric(name string) bool {
+	for _, m := range Metrics() {
+		if name == m {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoUndeclaredSpanOrCounterNames walks every non-test Go file in
+// the repository and asserts that any span or counter name passed as a
+// string literal to obs.Begin, obs.Count, or a BeginSpan method is
+// declared in names.go. Emission sites that use the declared constants
+// are correct by construction; this test exists so a new call site
+// cannot mint an ad-hoc name that the telemetry layer and trace
+// consumers would silently miss.
+func TestNoUndeclaredSpanOrCounterNames(t *testing.T) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test file")
+	}
+	root := filepath.Clean(filepath.Join(filepath.Dir(self), "..", ".."))
+
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var nameArg ast.Expr
+			var check func(string) bool
+			var kind string
+			switch {
+			case isPkgCall(sel, "obs", "Begin") && len(call.Args) >= 2:
+				nameArg, check, kind = call.Args[1], KnownSpan, "span"
+			case isPkgCall(sel, "obs", "Count") && len(call.Args) >= 2:
+				nameArg, check, kind = call.Args[1], KnownCounter, "counter"
+			case sel.Sel.Name == "BeginSpan" && len(call.Args) >= 1:
+				nameArg, check, kind = call.Args[0], KnownSpan, "span"
+			default:
+				return true
+			}
+			lit, ok := nameArg.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // a constant or expression; constants are declared here
+			}
+			name, uerr := strconv.Unquote(lit.Value)
+			if uerr != nil {
+				return true
+			}
+			if !check(name) {
+				t.Errorf("%s: %s name %q is not declared in internal/obs/names.go",
+					fset.Position(lit.Pos()), kind, name)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isPkgCall(sel *ast.SelectorExpr, pkg, fn string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg && sel.Sel.Name == fn
+}
+
+// TestDeclaredNamesSelfConsistent pins the vocabulary's own shape:
+// no duplicates across spans, prefixes, and counters, and every
+// declared name is non-empty.
+func TestDeclaredNamesSelfConsistent(t *testing.T) {
+	seen := map[string]string{}
+	note := func(group string, names []string) {
+		for _, n := range names {
+			if n == "" {
+				t.Errorf("%s: empty declared name", group)
+			}
+			if prev, dup := seen[n]; dup {
+				t.Errorf("name %q declared in both %s and %s", n, prev, group)
+			}
+			seen[n] = group
+		}
+	}
+	note("spans", Spans())
+	note("span-prefixes", SpanPrefixes())
+	note("counters", Counters())
+	note("metrics", Metrics())
+
+	for _, s := range Spans() {
+		if !KnownSpan(s) {
+			t.Errorf("declared span %q not known", s)
+		}
+	}
+	for _, c := range Counters() {
+		if !KnownCounter(c) {
+			t.Errorf("declared counter %q not known", c)
+		}
+	}
+	if KnownSpan("never-declared") || KnownCounter("never-declared") || KnownMetric("never-declared") {
+		t.Error("unknown name reported as known")
+	}
+	if !KnownSpan(SpanPrefixExecute + "variant") {
+		t.Error("declared prefix does not admit its dynamic names")
+	}
+}

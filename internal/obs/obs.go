@@ -56,3 +56,49 @@ func Count(c Collector, name string, delta int64) {
 		c.Count(name, delta)
 	}
 }
+
+// Tee fans events out to several collectors: every span and counter is
+// delivered to each non-nil collector in argument order. Nil entries
+// are dropped; zero survivors collapse to nil (the universal off
+// switch) and one survivor is returned unwrapped, so the common cases
+// pay nothing for the fan-out. The serving layer uses this to feed one
+// request's spans to both its per-request recorder and the process-wide
+// telemetry bridge.
+func Tee(cols ...Collector) Collector {
+	live := make(tee, 0, len(cols))
+	for _, c := range cols {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type tee []Collector
+
+// BeginSpan implements Collector: it opens the span on every branch
+// and returns an EndFunc closing them all.
+func (t tee) BeginSpan(name string, kv ...any) EndFunc {
+	ends := make([]EndFunc, len(t))
+	for i, c := range t {
+		ends[i] = c.BeginSpan(name, kv...)
+	}
+	return func(kv ...any) {
+		for _, end := range ends {
+			end(kv...)
+		}
+	}
+}
+
+// Count implements Collector.
+func (t tee) Count(name string, delta int64) {
+	for _, c := range t {
+		c.Count(name, delta)
+	}
+}

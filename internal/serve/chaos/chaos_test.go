@@ -64,6 +64,16 @@ func TestChaos(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
+	// A concurrent scraper holds the telemetry layer to its invariants
+	// for the whole soak: every scrape parses strictly, histogram
+	// buckets stay cumulative, and no counter ever goes backwards.
+	stopScraper := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		watchMetrics(t, ts.URL, stopScraper)
+	}()
+
 	const defaultRequests = 200
 	deadline := time.Time{}
 	if s := os.Getenv("GNT_CHAOS_SECONDS"); s != "" {
@@ -145,6 +155,9 @@ func TestChaos(t *testing.T) {
 	}
 	close(jobs)
 	wg.Wait()
+	close(stopScraper)
+	<-scraperDone
+	checkRequestAccounting(t, ts.URL, byStatus)
 
 	if n := done.Load(); n < int64(sent) {
 		t.Fatalf("only %d/%d requests completed", n, sent)

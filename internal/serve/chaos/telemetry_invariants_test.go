@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"givetake/internal/obs"
+	"givetake/internal/telemetry"
+)
+
+// scrape GETs and strictly parses /metrics; under chaos the exposition
+// must stay well-formed on every single scrape.
+func scrape(t *testing.T, url string) telemetry.Families {
+	t.Helper()
+	hr, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Errorf("scrape: %v", err)
+		return nil
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("scrape: status %d", hr.StatusCode)
+		return nil
+	}
+	fams, err := telemetry.ParseExposition(hr.Body)
+	if err != nil {
+		t.Errorf("scrape: exposition is not strictly parseable mid-soak: %v", err)
+		return nil
+	}
+	return fams
+}
+
+// monotoneSeries extracts every value that must never decrease across
+// scrapes: all samples of counter families, and the _count/_bucket/_sum
+// samples of histogram families (observations only accumulate). Gauges
+// are excluded — occupancy goes down by design.
+func monotoneSeries(fams telemetry.Families) map[string]float64 {
+	out := map[string]float64{}
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			include := f.Type == "counter" ||
+				(f.Type == "histogram" && s.Name != f.Name)
+			if !include {
+				continue
+			}
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var b strings.Builder
+			b.WriteString(s.Name)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "{%s=%q}", k, s.Labels[k])
+			}
+			out[b.String()] = s.Value
+		}
+	}
+	return out
+}
+
+// checkMonotone asserts that no counter or histogram accumulator went
+// backwards between two consecutive scrapes. A series may appear (new
+// label values) but an existing one must never shrink or vanish.
+func checkMonotone(t *testing.T, prev, cur map[string]float64) {
+	t.Helper()
+	for key, was := range prev {
+		now, ok := cur[key]
+		if !ok {
+			t.Errorf("series %s vanished between scrapes", key)
+			continue
+		}
+		if now < was {
+			t.Errorf("series %s went backwards: %v -> %v", key, was, now)
+		}
+	}
+}
+
+// checkBucketsCumulative asserts that within one scrape every
+// histogram's buckets are non-decreasing in le order and that the +Inf
+// bucket equals the series count.
+func checkBucketsCumulative(t *testing.T, fams telemetry.Families) {
+	t.Helper()
+	for _, f := range fams {
+		if f.Type != "histogram" {
+			continue
+		}
+		type bkt struct {
+			le  float64
+			val float64
+		}
+		groups := map[string][]bkt{}
+		counts := map[string]float64{}
+		for _, s := range f.Samples {
+			rest := make([]string, 0, len(s.Labels))
+			for k, v := range s.Labels {
+				if k != "le" {
+					rest = append(rest, k+"="+v)
+				}
+			}
+			sort.Strings(rest)
+			gk := strings.Join(rest, ",")
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"):
+				le := math.Inf(1)
+				if s.Labels["le"] != "+Inf" {
+					v, err := strconv.ParseFloat(s.Labels["le"], 64)
+					if err != nil {
+						t.Errorf("%s: bad le %q", f.Name, s.Labels["le"])
+						continue
+					}
+					le = v
+				}
+				groups[gk] = append(groups[gk], bkt{le, s.Value})
+			case strings.HasSuffix(s.Name, "_count"):
+				counts[gk] = s.Value
+			}
+		}
+		for gk, bkts := range groups {
+			sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+			for i := 1; i < len(bkts); i++ {
+				if bkts[i].val < bkts[i-1].val {
+					t.Errorf("%s{%s}: bucket le=%v (%v) below le=%v (%v); buckets must be cumulative",
+						f.Name, gk, bkts[i].le, bkts[i].val, bkts[i-1].le, bkts[i-1].val)
+				}
+			}
+			if n := len(bkts); n > 0 && !math.IsInf(bkts[n-1].le, 1) {
+				t.Errorf("%s{%s}: no +Inf bucket", f.Name, gk)
+			}
+			if n := len(bkts); n > 0 && math.IsInf(bkts[n-1].le, 1) && bkts[n-1].val != counts[gk] {
+				t.Errorf("%s{%s}: +Inf bucket %v != count %v", f.Name, gk, bkts[n-1].val, counts[gk])
+			}
+		}
+	}
+}
+
+// watchMetrics scrapes /metrics on an interval until stop closes,
+// asserting the cross-scrape invariants on every pair of consecutive
+// scrapes. It returns after the final scrape.
+func watchMetrics(t *testing.T, url string, stop <-chan struct{}) {
+	var prev map[string]float64
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		fams := scrape(t, url)
+		if fams != nil {
+			checkBucketsCumulative(t, fams)
+			cur := monotoneSeries(fams)
+			if prev != nil {
+				checkMonotone(t, prev, cur)
+			}
+			prev = cur
+		}
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// checkRequestAccounting asserts post-soak that the server's
+// requests_total family accounts for exactly the requests the harness
+// sent, per status. The middleware records after the response bytes
+// reach the client, so the final tallies are polled briefly.
+func checkRequestAccounting(t *testing.T, url string, byStatus map[int]int) {
+	t.Helper()
+	var sent float64
+	for _, n := range byStatus {
+		sent += float64(n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fams := scrape(t, url)
+		if fams == nil {
+			return
+		}
+		total := fams.Sum(obs.MetricRequestsTotal, map[string]string{"route": "/analyze"})
+		if total == sent {
+			for status, n := range byStatus {
+				got := fams.Sum(obs.MetricRequestsTotal,
+					map[string]string{"route": "/analyze", "status": strconv.Itoa(status)})
+				if got != float64(n) {
+					t.Errorf("requests_total{/analyze,%d} = %v, harness saw %d", status, got, n)
+				}
+			}
+			// The latency histogram must account for the same traffic.
+			hist := fams.Sum(obs.MetricRequestDuration+"_count", map[string]string{"route": "/analyze"})
+			if hist != sent {
+				t.Errorf("request_duration_count{/analyze} = %v, want %v", hist, sent)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("requests_total{/analyze} settled at %v, harness sent %v", total, sent)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

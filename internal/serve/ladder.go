@@ -143,6 +143,13 @@ type AdmissionCounts struct {
 	Shed int64 `json:"shed"`
 }
 
+// noteAttempt appends one rung trial to the response ladder and counts
+// it into gnt_ladder_attempts_total{rung,outcome}.
+func (s *Server) noteAttempt(resp *Response, att Attempt) {
+	s.inst.attempts.Inc(att.Name, att.Outcome)
+	resp.Ladder = append(resp.Ladder, att)
+}
+
 // maxDiagnostics bounds the diagnostics echoed into a response.
 const maxDiagnostics = 10
 
@@ -216,8 +223,15 @@ func isPanicErr(err error) bool {
 // the client aborts everything, while deadline exhaustion falls through
 // to the detached atomic floor.
 func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, resp *Response) {
-	col := obs.NewRecorder(obs.Config{})
-	defer func() { resp.Phases = col.Phases() }()
+	// One recorder per request, teed with the process-wide telemetry
+	// bridge: the same span feeds this response's phase report and the
+	// gnt_stage_duration_seconds histogram on /metrics.
+	rec := obs.NewRecorder(obs.Config{})
+	col := obs.Tee(rec, s.inst.bridge)
+	defer func() {
+		resp.Phases = rec.Phases()
+		carrierFrom(ctx).setSpans(rec.Spans())
+	}()
 
 	chaos := req.Chaos
 	if !s.cfg.AllowChaos {
@@ -280,7 +294,7 @@ func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, res
 				att.Outcome = "panic"
 			}
 			att.Detail = err.Error()
-			resp.Ladder = append(resp.Ladder, att)
+			s.noteAttempt(resp, att)
 			if att.Outcome == "canceled" {
 				resp.Error, resp.Code = err.Error(), "canceled"
 				return
@@ -292,12 +306,12 @@ func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, res
 		if !res.Ok() {
 			att.Outcome = "check-failed"
 			att.Detail = res.Errors()[0].String()
-			resp.Ladder = append(resp.Ladder, att)
+			s.noteAttempt(resp, att)
 			eres.Release()
 			continue
 		}
 		att.Outcome = "ok"
-		resp.Ladder = append(resp.Ladder, att)
+		s.noteAttempt(resp, att)
 		s.finish(ctx, a, comm.DefaultOptions, r.rung, req, resp, res, col)
 		eres.Release()
 		return
@@ -324,7 +338,7 @@ func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, res
 		}
 		att.Detail = err.Error()
 		att.DurationMS = msSince(start)
-		resp.Ladder = append(resp.Ladder, att)
+		s.noteAttempt(resp, att)
 		resp.Error, resp.Code = err.Error(), "ladder-exhausted"
 		return
 	}
@@ -333,7 +347,7 @@ func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, res
 	if err == nil && res.Ok() {
 		att.Outcome = "ok"
 		att.CheckErrs, att.CheckWarns = len(res.Errors()), len(res.Warnings())
-		resp.Ladder = append(resp.Ladder, att)
+		s.noteAttempt(resp, att)
 		s.finish(ctx, a, comm.Options{Reads: true, Writes: true}, RungAtomic, req, resp, res, col)
 		return
 	}
@@ -344,7 +358,7 @@ func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, res
 	} else if !res.Ok() {
 		att.Detail = res.Errors()[0].String()
 	}
-	resp.Ladder = append(resp.Ladder, att)
+	s.noteAttempt(resp, att)
 	resp.Error, resp.Code = "atomic floor failed verification", "ladder-exhausted"
 }
 

@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -39,6 +40,7 @@ import (
 	"givetake/internal/comm"
 	"givetake/internal/engine"
 	"givetake/internal/journal"
+	"givetake/internal/telemetry"
 )
 
 // Defaults for the zero Config.
@@ -93,6 +95,24 @@ type Config struct {
 	// JournalMaxBatch bounds records per group commit; zero means the
 	// journal default (64).
 	JournalMaxBatch int
+
+	// Metrics, when set, is the registry the server's metric families
+	// register on (shared across servers in tests); nil creates a
+	// private registry. Either way /metrics serves it.
+	Metrics *telemetry.Registry
+	// TraceRingSize bounds the /debug/requests ring; zero means
+	// telemetry.DefaultTraceRing (128).
+	TraceRingSize int
+	// AccessLog, when set, receives one structured JSON line per
+	// sampled analysis request; nil disables access logging.
+	AccessLog io.Writer
+	// AccessLogEvery samples every nth analysis request into the access
+	// log (values below 1 log all).
+	AccessLogEvery int
+	// PprofAddr, when set, serves net/http/pprof on its own listener
+	// (ListenAndServe starts it alongside the service listener). Kept
+	// off the service mux so profiling exposure is a bind decision.
+	PprofAddr string
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +144,7 @@ type Server struct {
 	sem      chan struct{}
 	engine   *engine.Engine
 	journal  *journal.Journal
+	inst     *instruments
 	inFlight atomic.Int64
 	served   atomic.Int64
 	shed     atomic.Int64
@@ -142,6 +163,18 @@ type Server struct {
 // error return covers journal storage that cannot be opened.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+
+	// Telemetry exists before the journal and engine do: both take the
+	// bridge as their collector, so their counters and spans feed the
+	// same /metrics families from the first replayed record onward.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	inst := newInstruments(reg,
+		telemetry.NewTraceRing(cfg.TraceRingSize),
+		telemetry.NewAccessLog(cfg.AccessLog, cfg.AccessLogEvery))
+
 	backend := cfg.JournalBackend
 	if backend == nil && cfg.JournalDir != "" {
 		fb, err := journal.NewFileBackend(cfg.JournalDir)
@@ -153,9 +186,10 @@ func New(cfg Config) (*Server, error) {
 	var jn *journal.Journal
 	if backend != nil {
 		j, err := journal.Open(journal.Config{
-			Backend:  backend,
-			MaxBatch: cfg.JournalMaxBatch,
-			MaxWait:  cfg.JournalFlushWait,
+			Backend:   backend,
+			MaxBatch:  cfg.JournalMaxBatch,
+			MaxWait:   cfg.JournalFlushWait,
+			Collector: inst.bridge,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("journal open: %w", err)
@@ -166,17 +200,24 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		journal: jn,
+		inst:    inst,
 		engine: engine.New(engine.Config{
 			Workers:    cfg.Workers,
 			CacheBytes: cfg.CacheBytes,
 			Journal:    jn,
+			Collector:  inst.bridge,
 		}),
 	}
+	s.registerGauges()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	// /metrics and /debug/requests answer regardless of readiness: a
+	// warming node is exactly when an operator needs them.
+	s.mux.Handle("/metrics", reg.Handler())
+	s.mux.Handle("/debug/requests", inst.traces.Handler())
 	if jn == nil {
 		s.ready.Store(true)
 	} else {
@@ -217,10 +258,12 @@ func (s *Server) Journal() *journal.Journal { return s.journal }
 // without a journal).
 func (s *Server) Ready() bool { return s.ready.Load() }
 
-// Handler returns the service's HTTP handler with the outermost panic
-// boundary installed.
+// Handler returns the service's HTTP handler: the instrumentation
+// middleware outside the outermost panic boundary, so even a request
+// that panics its way to a structured 500 is counted, timed, and
+// traced as one.
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	boundary := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				// net/http would recover too, but would kill the
@@ -233,6 +276,7 @@ func (s *Server) Handler() http.Handler {
 		}()
 		s.mux.ServeHTTP(w, r)
 	})
+	return s.instrument(boundary)
 }
 
 // ListenAndServe runs the service until ctx is canceled, then shuts
@@ -253,6 +297,20 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
+	}
+	// The profiling listener is separate from the service listener by
+	// design: pprof exposure is decided by where -pprof binds, and a
+	// busy service port cannot starve a profile grab. Bound
+	// synchronously for the same conflict-reporting reason as above.
+	if s.cfg.PprofAddr != "" {
+		pln, perr := net.Listen("tcp", s.cfg.PprofAddr)
+		if perr != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listen: %w", perr)
+		}
+		ps := &http.Server{Handler: PprofHandler()}
+		go func() { _ = ps.Serve(pln) }()
+		defer ps.Close()
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -392,15 +450,18 @@ func (s *Server) validate(req *Request) (int, *Response) {
 // old time.After here leaked one timer per admitted request, which
 // under sustained load was a slow, invisible heap bleed.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
+	start := time.Now()
 	timer := time.NewTimer(s.cfg.QueueTimeout)
 	defer timer.Stop()
 	select {
 	case s.sem <- struct{}{}:
 		s.engine.NoteAdmission(true)
+		s.observeQueueWait("won", start)
 		return func() { <-s.sem }
 	case <-timer.C:
 		s.shed.Add(1)
 		s.engine.NoteAdmission(false)
+		s.observeQueueWait("shed", start)
 		// Retry-After tells well-behaved clients to back off for about
 		// one queue-timeout window — retrying sooner would just re-queue
 		// into the same congestion and shed again.
@@ -415,6 +476,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 		})
 		return nil
 	case <-r.Context().Done():
+		s.observeQueueWait("abandoned", start)
 		return nil // client gone while queued; nothing to say to no one
 	}
 }
@@ -532,12 +594,20 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	cached, src, err := s.analyzeCached(ctx, &req)
 	if err != nil {
+		carrierFrom(r.Context()).setMeta("", "canceled", nil)
 		writeJSON(w, 499, &Response{Error: err.Error(), Code: "canceled"})
 		return
 	}
 	s.served.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Gnt-Cache", string(src))
+	// Every stored body carries its rung and ladder, so hits and misses
+	// are equally reconstructable: the meta feeds the trace ring and the
+	// rung lands on a response header for the client and the latency
+	// histogram's rung label.
+	if rung := noteResponseMeta(r.Context(), cached.Body); rung != "" {
+		w.Header().Set("X-Gnt-Rung", rung)
+	}
 	w.WriteHeader(cached.Status)
 	_, _ = w.Write(cached.Body)
 }

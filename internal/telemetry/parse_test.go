@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"duplicate TYPE", "# TYPE a counter\na 1\n# TYPE a counter\na 2\n"},
+		{"duplicate family block", "# TYPE a counter\na 1\n# TYPE b counter\nb 1\n# TYPE a gauge\n"},
+		{"sample without TYPE", "a{x=\"1\"} 1\n"},
+		{"duplicate series", "# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n"},
+		{"bad value", "# TYPE a counter\na one\n"},
+		{"timestamp rejected", "# TYPE a counter\na 1 1700000000\n"},
+		{"unterminated labels", "# TYPE a counter\na{x=\"1\" 1\n"},
+		{"unquoted label value", "# TYPE a counter\na{x=1} 1\n"},
+		{"bad escape", "# TYPE a counter\na{x=\"\\t\"} 1\n"},
+		{"bad label name", "# TYPE a counter\na{0x=\"1\"} 1\n"},
+		{"duplicate label", "# TYPE a counter\na{x=\"1\",x=\"2\"} 1\n"},
+		{"missing value", "# TYPE a counter\na{x=\"1\"}\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{stage=\"p\"} 1\n"},
+		{"interleaved families", "# TYPE a counter\n# TYPE b counter\na 1\n"},
+		{"unknown type", "# TYPE a exotic\na 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseExposition(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: strict parser accepted malformed input:\n%s", tc.name, tc.doc)
+		}
+	}
+}
+
+func TestParseAcceptsWellFormed(t *testing.T) {
+	doc := `# HELP gnt_http_requests_total Requests.
+# TYPE gnt_http_requests_total counter
+gnt_http_requests_total{route="/analyze",status="200"} 41
+gnt_http_requests_total{route="/analyze",status="429"} 1
+# HELP gnt_stage_duration_seconds Stage wall time.
+# TYPE gnt_stage_duration_seconds histogram
+gnt_stage_duration_seconds_bucket{stage="parse",le="0.1"} 3
+gnt_stage_duration_seconds_bucket{stage="parse",le="+Inf"} 4
+gnt_stage_duration_seconds_sum{stage="parse"} 0.42
+gnt_stage_duration_seconds_count{stage="parse"} 4
+# TYPE gnt_ready gauge
+gnt_ready 1
+`
+	fams, err := ParseExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+	if got := fams.Sum("gnt_http_requests_total", map[string]string{"route": "/analyze"}); got != 42 {
+		t.Errorf("sum = %v, want 42", got)
+	}
+	if v, ok := fams.Value("gnt_stage_duration_seconds_bucket",
+		map[string]string{"stage": "parse", "le": "+Inf"}); !ok || v != 4 {
+		t.Errorf("+Inf bucket = %v, %v", v, ok)
+	}
+	if fams["gnt_http_requests_total"].Help != "Requests." {
+		t.Errorf("help = %q", fams["gnt_http_requests_total"].Help)
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	doc := "# TYPE g gauge\ng{k=\"inf\"} +Inf\ng{k=\"neg\"} -Inf\ng{k=\"sci\"} 1.5e-3\n"
+	fams, err := ParseExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fams.Value("g", map[string]string{"k": "sci"}); v != 0.0015 {
+		t.Errorf("scientific value = %v", v)
+	}
+}

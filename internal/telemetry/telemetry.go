@@ -1,0 +1,32 @@
+// Package telemetry is the production observability layer of the
+// GIVE-N-TAKE service: a stdlib-only time-series metrics registry with
+// a Prometheus text-exposition endpoint, end-to-end request tracing
+// with a bounded ring of recent request traces, and a sampled
+// structured access log.
+//
+// The package complements internal/obs rather than replacing it: obs
+// records what happened *inside one request* (phase spans, solver
+// counters) for a single report or Chrome trace, while telemetry
+// aggregates *across requests* into scrapeable time series. Bridge
+// connects the two — it implements obs.Collector and folds every span
+// into a per-stage latency histogram and every counter into its
+// declared gnt_* metric family, so the pipeline's existing
+// instrumentation points feed /metrics without a second set of hooks.
+//
+// Three rules keep the layer production-safe:
+//
+//  1. The vocabulary is closed. A Registry refuses to create a metric
+//     family whose name is not declared in internal/obs/names.go, so
+//     dashboards and alerts can rely on the scrape schema not drifting
+//     silently.
+//
+//  2. Counters are monotone. Counter.Add rejects negative deltas, and
+//     histograms only accumulate, so "no metric goes backwards across
+//     scrapes" is an enforced invariant (the chaos harness asserts it
+//     under fire), gauges excepted by definition.
+//
+//  3. Exposition is strict. The text format written by Registry.Expose
+//     round-trips through ParseExposition, the same strict parser the
+//     unit tests, the chaos harness, gntbench, and the CI smoke job
+//     use to validate a live scrape.
+package telemetry

@@ -240,7 +240,7 @@ func (j *Journal) Flush() error {
 
 	end := obs.Begin(j.cfg.Collector, obs.SpanJournalFlush, "records", len(batch))
 	start := time.Now()
-	err := j.commit(batch)
+	err := j.commitLocked(batch)
 	ms := float64(time.Since(start).Microseconds()) / 1000
 
 	j.mu.Lock()
@@ -267,11 +267,11 @@ func (j *Journal) Flush() error {
 	return nil
 }
 
-// commit writes one sealed batch to the current segment. Called with
-// flushMu held. A write or sync failure abandons the current segment
-// (its tail may be garbage — replay tolerates that) and the next
-// commit starts a fresh one.
-func (j *Journal) commit(batch []Record) error {
+// commitLocked writes one sealed batch to the current segment. Called
+// with flushMu held. A write or sync failure abandons the current
+// segment (its tail may be garbage — replay tolerates that) and the
+// next commit starts a fresh one.
+func (j *Journal) commitLocked(batch []Record) error {
 	buf := encodeBatch(j.seq, batch)
 	if j.w != nil && j.wBytes+int64(len(buf)) > j.cfg.MaxSegmentBytes && j.wBytes > 0 {
 		_ = j.w.Close()

@@ -1,0 +1,685 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ArenaRelease flags leased values that can go out of scope without
+// being returned to their pool. The engine's contract (engine.Result:
+// "call Release when done with Analysis") and the bitset.Arena lease
+// discipline are what keep the steady state allocation-flat; one
+// forgotten Release on one error path silently re-grows every slab the
+// request leased. The analyzer tracks variables bound from calls
+// producing *engine.Result (or *bitset.Arena taken from a pool Get)
+// through a block-structured walk of the function body and reports any
+// path — fall-off, return, or loop continue/break — on which the value
+// is live but neither released, deferred, nil (the producer errored),
+// nor escaped to another owner.
+//
+// Ownership transfer is recognized generously to stay quiet on correct
+// code: returning the value, storing it into a field, slice, map, or
+// composite literal, sending it on a channel, capturing it in a
+// closure, or passing it to any function all count as handing the
+// lease to someone else.
+var ArenaRelease = &Analyzer{
+	Name: "arenarelease",
+	Doc: "leased engine.Result / pooled bitset.Arena has a path to " +
+		"scope exit with no Release and no escape",
+	Run: runArenaRelease,
+}
+
+// leasedTypes maps the tracked named types to the method that returns
+// the lease.
+var leasedTypes = map[[2]string]string{
+	{"givetake/internal/engine", "Result"}: "Release",
+	{"givetake/internal/bitset", "Arena"}:  "Reset", // pooled via sync.Pool.Put
+}
+
+func runArenaRelease(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasGoto(fd.Body) {
+				// goto breaks the block-structured path model; fall back
+				// to "released anywhere" so true leaks still surface
+				p.checkFlat(fd)
+				continue
+			}
+			w := &releaseWalker{pass: p}
+			st := &relState{released: map[types.Object]bool{}}
+			terminated := w.walkStmts(fd.Body.List, st, 0)
+			if !terminated {
+				w.checkScopeEnd(st, fd.Body.End())
+			}
+		}
+	}
+}
+
+// tracked is one leased acquisition being followed.
+type tracked struct {
+	obj       types.Object
+	errObj    types.Object // error bound by the same call, if any
+	loopDepth int          // loop nesting at the acquisition
+	pos       token.Pos
+	kind      string
+}
+
+// relState is the per-path release state.
+type relState struct {
+	live     []*tracked
+	released map[types.Object]bool
+}
+
+func (st *relState) clone() *relState {
+	n := &relState{
+		live:     append([]*tracked(nil), st.live...),
+		released: make(map[types.Object]bool, len(st.released)),
+	}
+	for k, v := range st.released {
+		n.released[k] = v
+	}
+	return n
+}
+
+type releaseWalker struct {
+	pass *Pass
+}
+
+// walkStmts processes one statement list at the given loop depth and
+// reports whether every path through it terminates (return/branch/
+// panic) before falling off the end. Acquisitions made directly in
+// this list are scope-checked by the caller via checkScopeEnd.
+func (w *releaseWalker) walkStmts(stmts []ast.Stmt, st *relState, depth int) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st, depth) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmt handles one statement; true means the path terminated.
+func (w *releaseWalker) walkStmt(s ast.Stmt, st *relState, depth int) bool {
+	p := w.pass
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.noteEscapes(s, st)
+		w.noteAcquisitions(s, st, depth)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					w.noteEscapes(vs, st)
+					w.noteValueSpecAcquisition(vs, st, depth)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if isPanicCall(p, s.X) {
+			return true // unwinding; the deferred state owns cleanup
+		}
+		w.noteEscapes(s, st)
+	case *ast.DeferStmt:
+		// anything mentioned in a defer is handled at exit, whatever the
+		// path: defer v.Release(), defer pool.Put(v), defer func(){...}
+		w.markMentioned(s, st)
+	case *ast.GoStmt:
+		w.markMentioned(s, st)
+	case *ast.SendStmt:
+		w.noteEscapes(s, st)
+	case *ast.ReturnStmt:
+		w.noteEscapes(s, st)
+		w.checkExit(st, 0, s.Pos(), "return")
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.CONTINUE, token.BREAK:
+			// only leases acquired inside the loop being exited die here
+			w.checkExit(st, depth, s.Pos(), s.Tok.String())
+		}
+		return s.Tok != token.FALLTHROUGH
+	case *ast.BlockStmt:
+		inner := st.clone()
+		term := w.walkStmts(s.List, inner, depth)
+		if !term {
+			w.checkNewSince(inner, st, s.End())
+		}
+		w.mergeBack(st, inner)
+		return term
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, depth)
+		}
+		w.noteEscapes(s.Cond, st)
+		thenSt, elseSt := st.clone(), st.clone()
+		w.applyNilGuard(s.Cond, thenSt, elseSt)
+		thenTerm := w.walkStmts(s.Body.List, thenSt, depth)
+		if !thenTerm {
+			w.checkNewSince(thenSt, st, s.Body.End())
+		}
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseSt, depth)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt.trimTo(st)
+		case elseTerm:
+			*st = *thenSt.trimTo(st)
+		default:
+			*st = *intersect(thenSt, elseSt, st)
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, depth)
+		}
+		w.noteEscapes(s.Cond, st)
+		body := st.clone()
+		term := w.walkStmts(s.Body.List, body, depth+1)
+		if !term {
+			w.checkNewSince(body, st, s.Body.End())
+		}
+		if s.Post != nil {
+			w.walkStmt(s.Post, body, depth)
+		}
+		w.mergeBack(st, body) // union: releases inside the loop count after it
+		return false
+	case *ast.RangeStmt:
+		w.noteEscapes(s.X, st)
+		body := st.clone()
+		term := w.walkStmts(s.Body.List, body, depth+1)
+		if !term {
+			w.checkNewSince(body, st, s.Body.End())
+		}
+		w.mergeBack(st, body)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkClauses(s, st, depth)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st, depth)
+	}
+	return false
+}
+
+// walkClauses handles switch/type-switch/select: each clause is an
+// independent branch; the post state releases only what every
+// non-terminating clause released (plus the incoming state when a
+// switch has no default, since then no clause may run at all).
+func (w *releaseWalker) walkClauses(s ast.Stmt, st *relState, depth int) bool {
+	var clauses []ast.Stmt
+	hasDefault := false
+	isSelect := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, depth)
+		}
+		w.noteEscapes(s.Tag, st)
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, depth)
+		}
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+		isSelect = true
+	}
+	var states []*relState
+	allTerm := len(clauses) > 0
+	for _, c := range clauses {
+		var body []ast.Stmt
+		cs := st.clone()
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.noteEscapes(e, cs)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.walkStmt(c.Comm, cs, depth)
+			}
+			body = c.Body
+		}
+		term := w.walkStmts(body, cs, depth)
+		if !term {
+			w.checkNewSince(cs, st, c.End())
+			states = append(states, cs)
+			allTerm = false
+		}
+	}
+	if allTerm && (hasDefault || isSelect) {
+		return true
+	}
+	if !hasDefault && !isSelect {
+		states = append(states, st.clone()) // no clause may have run
+	}
+	if len(states) > 0 {
+		merged := states[0]
+		for _, other := range states[1:] {
+			merged = intersect(merged, other, st)
+		}
+		*st = *merged.trimTo(st)
+	}
+	return false
+}
+
+// --- acquisition & satisfaction ---
+
+// noteAcquisitions registers leased values bound by s.
+func (w *releaseWalker) noteAcquisitions(s *ast.AssignStmt, st *relState, depth int) {
+	p := w.pass
+	if len(s.Rhs) != 1 {
+		return
+	}
+	if !isLeaseProducer(p, s.Rhs[0]) {
+		return
+	}
+	var errObj types.Object
+	var leases []*tracked
+	for _, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue // stored straight into a field/index: escaped
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			if id.Name == "_" {
+				if kind, leased := leasedExprType(p, s.Rhs[0], lhs, s.Lhs); leased {
+					p.Reportf(id.Pos(), "leased %s discarded into _; it can never be released", kind)
+				}
+			}
+			continue
+		}
+		if kind, leased := leasedObj(obj); leased {
+			leases = append(leases, &tracked{
+				obj: obj, loopDepth: depth, pos: id.Pos(), kind: kind,
+			})
+		} else if isErrorType(obj.Type()) {
+			errObj = obj
+		}
+	}
+	for _, tr := range leases {
+		tr.errObj = errObj
+		st.live = append(st.live, tr)
+		delete(st.released, tr.obj) // fresh lease shadows any old state
+	}
+}
+
+func (w *releaseWalker) noteValueSpecAcquisition(vs *ast.ValueSpec, st *relState, depth int) {
+	p := w.pass
+	if len(vs.Values) != 1 || !isLeaseProducer(p, vs.Values[0]) {
+		return
+	}
+	var errObj types.Object
+	var leases []*tracked
+	for _, name := range vs.Names {
+		obj := p.Info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		if kind, leased := leasedObj(obj); leased {
+			leases = append(leases, &tracked{obj: obj, loopDepth: depth, pos: name.Pos(), kind: kind})
+		} else if isErrorType(obj.Type()) {
+			errObj = obj
+		}
+	}
+	for _, tr := range leases {
+		tr.errObj = errObj
+		st.live = append(st.live, tr)
+	}
+}
+
+// isLeaseProducer reports whether rhs is a call (possibly through a
+// type assertion) that yields a leased value.
+func isLeaseProducer(p *Pass, rhs ast.Expr) bool {
+	e := ast.Unparen(rhs)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	_, ok := e.(*ast.CallExpr)
+	return ok
+}
+
+// leasedObj classifies obj's type against the tracked lease types.
+// Pooled arenas are only tracked when produced by a Get-shaped call —
+// that is checked at the acquisition site via the type assertion or
+// result type; a locally constructed Arena (bitset.NewArena) is owned
+// by the GC, so constructor names are exempted there.
+func leasedObj(obj types.Object) (string, bool) {
+	t := obj.Type()
+	for key := range leasedTypes {
+		if isNamedType(t, key[0], key[1]) {
+			return key[0][len("givetake/internal/"):] + "." + key[1], true
+		}
+	}
+	return "", false
+}
+
+func leasedExprType(p *Pass, rhs, lhs ast.Expr, all []ast.Expr) (string, bool) {
+	// for _ = producer(): use the static type of the assignment slot
+	tv, ok := p.Info.Types[rhs]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	check := func(t types.Type) (string, bool) {
+		for key := range leasedTypes {
+			if isNamedType(t, key[0], key[1]) {
+				return key[0][len("givetake/internal/"):] + "." + key[1], true
+			}
+		}
+		return "", false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i, l := range all {
+			if l == lhs && i < tuple.Len() {
+				return check(tuple.At(i).Type())
+			}
+		}
+		return "", false
+	}
+	return check(tv.Type)
+}
+
+// noteEscapes scans n for satisfaction events on tracked objects:
+// Release calls, pool Puts, call arguments, stores into non-locals,
+// channel sends, composite literals, closures, returns.
+func (w *releaseWalker) noteEscapes(n ast.Node, st *relState) {
+	if n == nil || len(st.live) == 0 {
+		return
+	}
+	p := w.pass
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.Release(): the canonical release
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil && st.isLive(obj) {
+						st.released[obj] = true
+					}
+				}
+			}
+			// any tracked value passed as an argument: ownership moves
+			for _, arg := range n.Args {
+				w.markIdentsIn(arg, st)
+			}
+		case *ast.AssignStmt:
+			// v on the RHS of any assignment: aliased or stored; either
+			// way another name now owns the lease
+			for _, rhs := range n.Rhs {
+				w.markIdentsIn(rhs, st)
+			}
+		case *ast.SendStmt:
+			w.markIdentsIn(n.Value, st)
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				w.markIdentsIn(el, st)
+			}
+		case *ast.FuncLit:
+			// captured by a closure: the closure owns it now (and may
+			// release it — `defer func() { res.Release() }()`)
+			w.markMentioned(n.Body, st)
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				w.markIdentsIn(r, st)
+			}
+		}
+		return true
+	})
+}
+
+// markIdentsIn marks every tracked object mentioned under e as
+// satisfied — but a bare method call v.M(...) is a use, not an escape,
+// so only the arguments of nested calls and direct mentions count.
+func (w *releaseWalker) markIdentsIn(e ast.Node, st *relState) {
+	p := w.pass
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			// v.Field / v.Method: using a part of v does not transfer v
+			if _, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent {
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && st.isLive(obj) {
+				st.released[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// markMentioned satisfies every tracked object appearing anywhere
+// under n (defer/go statements hand the value to deferred code).
+func (w *releaseWalker) markMentioned(n ast.Node, st *relState) {
+	p := w.pass
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && st.isLive(obj) {
+				st.released[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// applyNilGuard interprets `if err != nil` / `if v == nil` conditions:
+// on the branch where the producer failed (or the value is nil), the
+// lease does not exist.
+func (w *releaseWalker) applyNilGuard(cond ast.Expr, thenSt, elseSt *relState) {
+	p := w.pass
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return
+	}
+	var id *ast.Ident
+	if i, ok := ast.Unparen(bin.X).(*ast.Ident); ok && isNilIdent(p, bin.Y) {
+		id = i
+	} else if i, ok := ast.Unparen(bin.Y).(*ast.Ident); ok && isNilIdent(p, bin.X) {
+		id = i
+	}
+	if id == nil {
+		return
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	nilState := thenSt // `x == nil`: the then-branch sees a nil x
+	if bin.Op == token.NEQ {
+		nilState = elseSt
+	}
+	for _, tr := range nilState.live {
+		if tr.obj == obj {
+			nilState.released[obj] = true // v itself is nil here
+		}
+		if tr.errObj != nil && tr.errObj == obj {
+			// the error-is-non-nil branch: producers return a nil lease
+			// alongside a non-nil error
+			errNonNil := thenSt
+			if bin.Op == token.EQL {
+				errNonNil = elseSt
+			}
+			errNonNil.released[tr.obj] = true
+		}
+	}
+}
+
+func isNilIdent(p *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// --- exit checks & merges ---
+
+// checkExit reports live, unsatisfied leases acquired strictly inside
+// the scope being exited (minDepth 0 checks everything: returns).
+func (w *releaseWalker) checkExit(st *relState, minDepth int, pos token.Pos, kind string) {
+	for _, tr := range st.live {
+		if tr.loopDepth < minDepth || st.released[tr.obj] {
+			continue
+		}
+		w.pass.Reportf(pos,
+			"leased %s %q (acquired at %s) is still live at this %s with no Release, defer, or ownership transfer on this path",
+			tr.kind, tr.obj.Name(), w.pass.Fset.Position(tr.pos), kind)
+		st.released[tr.obj] = true // one report per path
+	}
+}
+
+// checkScopeEnd reports leases that fall out of scope unreleased at
+// the end of the function body.
+func (w *releaseWalker) checkScopeEnd(st *relState, end token.Pos) {
+	for _, tr := range st.live {
+		if st.released[tr.obj] {
+			continue
+		}
+		w.pass.Reportf(tr.pos,
+			"leased %s %q goes out of scope with no Release, defer, or ownership transfer on the fall-through path (scope ends at line %d)",
+			tr.kind, tr.obj.Name(), w.pass.Fset.Position(end).Line)
+		st.released[tr.obj] = true
+	}
+}
+
+// checkNewSince reports leases acquired inside a branch (present in
+// branch state but not in the base) that die unreleased when the
+// branch rejoins.
+func (w *releaseWalker) checkNewSince(branch, base *relState, end token.Pos) {
+	baseLive := map[types.Object]bool{}
+	for _, tr := range base.live {
+		baseLive[tr.obj] = true
+	}
+	for _, tr := range branch.live {
+		if baseLive[tr.obj] || branch.released[tr.obj] {
+			continue
+		}
+		w.pass.Reportf(tr.pos,
+			"leased %s %q acquired in this branch is not released, deferred, or transferred before the branch ends (line %d)",
+			tr.kind, tr.obj.Name(), w.pass.Fset.Position(end).Line)
+		branch.released[tr.obj] = true
+	}
+}
+
+// mergeBack folds a child scope's release facts for outer-scope
+// variables into the parent state.
+func (w *releaseWalker) mergeBack(parent, child *relState) {
+	for _, tr := range parent.live {
+		if child.released[tr.obj] {
+			parent.released[tr.obj] = true
+		}
+	}
+}
+
+// trimTo restricts st's live set to the variables the base scope
+// knows, keeping release facts.
+func (st *relState) trimTo(base *relState) *relState {
+	baseLive := map[types.Object]bool{}
+	for _, tr := range base.live {
+		baseLive[tr.obj] = true
+	}
+	out := &relState{released: st.released}
+	for _, tr := range st.live {
+		if baseLive[tr.obj] {
+			out.live = append(out.live, tr)
+		}
+	}
+	return out
+}
+
+// intersect merges two branch states over the base scope's variables:
+// released only where both branches released.
+func intersect(a, b, base *relState) *relState {
+	out := base.clone()
+	for _, tr := range out.live {
+		out.released[tr.obj] = a.released[tr.obj] && b.released[tr.obj]
+	}
+	return out
+}
+
+func (st *relState) isLive(obj types.Object) bool {
+	for _, tr := range st.live {
+		if tr.obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func isPanicCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func hasGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFlat is the goto fallback: a lease must be satisfied somewhere
+// in the function, path-insensitively.
+func (p *Pass) checkFlat(fd *ast.FuncDecl) {
+	w := &releaseWalker{pass: p}
+	st := &relState{released: map[types.Object]bool{}}
+	// first pass: acquisitions
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			w.noteAcquisitions(as, st, 0)
+		}
+		return true
+	})
+	if len(st.live) == 0 {
+		return
+	}
+	// second pass: any satisfaction anywhere counts
+	w.noteEscapes(fd.Body, st)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			w.markMentioned(n, st)
+			return false
+		}
+		return true
+	})
+	for _, tr := range st.live {
+		if !st.released[tr.obj] {
+			p.Reportf(tr.pos,
+				"leased %s %q is never released, deferred, or transferred anywhere in this function", tr.kind, tr.obj.Name())
+		}
+	}
+}

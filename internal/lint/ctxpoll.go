@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxPoll flags unbounded loops that can outlive their caller's
+// patience: a function that accepts a context.Context (or belongs to a
+// type carrying one) promises cooperative cancellation, and an
+// unbounded loop inside it that never consults the context breaks that
+// promise — the request keeps burning a worker long after the client
+// hung up. This encodes the PR 4 SolveCtx/VerifyCtx convention: every
+// fixed-point, worklist, or infinite loop on a context-bearing path
+// polls ctx.Err()/ctx.Done() (directly, through a stored Done channel,
+// or through a closure over either) at a bounded interval.
+//
+// Counted loops (`for i := 0; i < n; i++` with the counter untouched
+// in the body) and range loops terminate with their data and are
+// exempt; everything else — `for {}`, `for changed`, worklist drains —
+// must mention the context, a derived Done channel, or a helper
+// closure over one somewhere in its body.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "unbounded loop in a context-carrying function never polls " +
+		"ctx.Err()/ctx.Done()",
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			polls, recv := p.pollObjects(fd)
+			if polls == nil {
+				continue // no context in sight; nothing to poll
+			}
+			p.checkLoops(fd.Body, polls, recv)
+		}
+	}
+}
+
+// pollObjects collects every object whose mention inside a loop counts
+// as consulting the context: context parameters, receiver fields of
+// context or done-channel type, variables bound from ctx.Done(), and
+// function-valued locals whose bodies reference any of the above
+// (the solver's `canceled := func() bool { ... }` helper). Returns nil
+// when the function has no context access at all. The second result is
+// the receiver object when the receiver's type stores a context or done
+// channel: a method call on that receiver delegates polling to the
+// callee (the interpreter's exec → stmt → tick chain).
+func (p *Pass) pollObjects(fd *ast.FuncDecl) (map[types.Object]bool, types.Object) {
+	polls := map[types.Object]bool{}
+	var recv types.Object
+	hasCtx := false
+	addParam := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := p.Info.Defs[name]
+				if obj != nil && isContextType(obj.Type()) {
+					polls[obj] = true
+					hasCtx = true
+				}
+			}
+		}
+	}
+	addParam(fd.Type.Params)
+	// a method of a type that stores a context or done channel is a
+	// context-bearing path too (the interpreter's executor pattern)
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				obj := p.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if st := structUnder(obj.Type()); st != nil {
+					for i := 0; i < st.NumFields(); i++ {
+						ft := st.Field(i).Type()
+						if isContextType(ft) || isDoneChan(ft) {
+							hasCtx = true
+							recv = obj
+						}
+					}
+				}
+			}
+		}
+	}
+	if !hasCtx {
+		return nil, nil
+	}
+	// two passes: done channels first, then closures over them
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+				case *ast.CallExpr:
+					if isDoneChan(obj.Type()) && p.mentionsAny(rhs, polls) {
+						polls[obj] = true
+					}
+				case *ast.FuncLit:
+					if p.mentionsAny(rhs.Body, polls) || p.mentionsCtxField(rhs.Body) {
+						polls[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return polls, recv
+}
+
+// checkLoops reports every unbounded for loop under body that neither
+// mentions a poll object, touches a stored context/done field, nor
+// calls a method on the context-bearing receiver.
+func (p *Pass) checkLoops(body *ast.BlockStmt, polls map[types.Object]bool, recv types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if p.isCountedLoop(loop) {
+			return true
+		}
+		if p.mentionsAny(loop.Body, polls) || mentions(loop.Cond, p, polls) ||
+			p.mentionsCtxField(loop.Body) || p.callsMethodOn(loop.Body, recv) {
+			return true
+		}
+		p.Reportf(loop.Pos(),
+			"unbounded loop in a context-carrying function never polls the context; check ctx.Err() (or select on ctx.Done()) at a bounded interval")
+		return true
+	})
+}
+
+func mentions(e ast.Expr, p *Pass, polls map[types.Object]bool) bool {
+	return e != nil && p.mentionsAny(e, polls)
+}
+
+// mentionsAny reports whether any identifier under n resolves to one
+// of the poll objects.
+func (p *Pass) mentionsAny(n ast.Node, polls map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && polls[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callsMethodOn reports whether n contains a call whose receiver is
+// recv — `ex.stmt(s)` inside exec's loop delegates cancellation
+// polling to the callee, which the per-function analysis checks on its
+// own.
+func (p *Pass) callsMethodOn(n ast.Node, recv types.Object) bool {
+	if recv == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && p.Info.Uses[id] == recv {
+			if _, isMethod := p.Info.Selections[sel]; isMethod {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsCtxField reports whether n selects a struct field of context
+// or done-channel type (ex.ctx, ex.done, v.done ...).
+func (p *Pass) mentionsCtxField(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[sel.Sel]
+		if v, ok := obj.(*types.Var); ok && v.IsField() &&
+			(isContextType(v.Type()) || isDoneChan(v.Type())) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isCountedLoop recognizes `for i := ...; i OP bound; i++/i--/i += k`
+// with the counter never reassigned in the body: it terminates with
+// its bound and needs no poll.
+func (p *Pass) isCountedLoop(loop *ast.ForStmt) bool {
+	if loop.Cond == nil || loop.Post == nil {
+		return false
+	}
+	var counter *ast.Ident
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		counter, _ = post.X.(*ast.Ident)
+	case *ast.AssignStmt:
+		if len(post.Lhs) == 1 && (post.Tok == token.ADD_ASSIGN || post.Tok == token.SUB_ASSIGN ||
+			post.Tok == token.MUL_ASSIGN || post.Tok == token.SHR_ASSIGN || post.Tok == token.SHL_ASSIGN) {
+			counter, _ = post.Lhs[0].(*ast.Ident)
+		}
+	}
+	if counter == nil {
+		return false
+	}
+	obj := p.Info.Uses[counter]
+	if obj == nil {
+		obj = p.Info.Defs[counter]
+	}
+	if obj == nil {
+		return false
+	}
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return false
+	}
+	condUses := exprUses(p, cond, obj)
+	if !condUses {
+		return false
+	}
+	// the body must not write the counter (a reset would unbound it)
+	assigned := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if assigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					assigned = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				assigned = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					assigned = true // &i escapes; anything may happen
+				}
+			}
+		}
+		return true
+	})
+	return !assigned
+}
+
+func exprUses(p *Pass, e ast.Expr, obj types.Object) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named := namedOrPointee(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isDoneChan reports whether t is <-chan struct{} — the shape of
+// ctx.Done() and of every stored done field in this repository.
+func isDoneChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// structUnder unwraps pointers and returns the struct type under t.
+func structUnder(t types.Type) *types.Struct {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}

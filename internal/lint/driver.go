@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Config tunes one driver run.
+type Config struct {
+	// Dir anchors module discovery; empty means the current directory.
+	Dir string
+	// Analyzers to run; nil means All().
+	Analyzers []*Analyzer
+	// IncludeTests additionally analyzes in-package _test.go files of
+	// the requested packages.
+	IncludeTests bool
+}
+
+// Run loads the packages matched by patterns and applies the
+// configured analyzers, returning surviving (non-suppressed) findings
+// sorted by position. It is the one entry point shared by cmd/gntlint,
+// the fixture harness, and the obs name-drift test.
+func Run(cfg Config, patterns ...string) ([]Finding, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = cfg.IncludeTests
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressions(loader.Fset, pkg.Files)
+		findings = append(findings, sup.malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     loader.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(f Finding) {
+				if !sup.suppressed(a.Name, f.Pos) {
+					findings = append(findings, f)
+				}
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignorePrefix introduces a suppression directive.
+const ignorePrefix = "//lint:ignore"
+
+// suppressions indexes the //lint:ignore directives of one package.
+// A directive names the analyzer it silences and must carry a reason;
+// it applies to findings on its own line and — when the comment stands
+// alone — to the line directly below it.
+type suppressions struct {
+	// byLine maps file -> line -> analyzer names suppressed there.
+	byLine    map[string]map[int][]string
+	malformed []Finding
+}
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "gntlint",
+						Pos:      pos,
+						Message: fmt.Sprintf("malformed ignore directive: want %q (the reason is mandatory)",
+							ignorePrefix+" <analyzer> <reason>"),
+					})
+					continue
+				}
+				name := fields[0]
+				if ByName(name) == nil {
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "gntlint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("ignore directive names unknown analyzer %q", name),
+					})
+					continue
+				}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+				if standsAlone(fset, f, c) {
+					lines[pos.Line+1] = append(lines[pos.Line+1], name)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// standsAlone reports whether comment c precedes the code it
+// suppresses instead of trailing it: no non-comment node ends on the
+// comment's line before the comment starts.
+func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if n.End() < c.Pos() && fset.Position(n.End()).Line == line {
+			alone = false
+			return false
+		}
+		return true
+	})
+	return alone
+}
+
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	lines, ok := s.byLine[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, name := range lines[pos.Line] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}

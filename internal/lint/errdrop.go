@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags goroutine-launched calls whose error result vanishes.
+// An error dropped on the caller's goroutine is at least visible in
+// review next to its call; one dropped inside `go ...` disappears from
+// every path the program can report on — the PR 5 bug shape, where a
+// listener's bind error was swallowed by `go srv.ListenAndServe()` and
+// a port conflict masqueraded as a clean shutdown. Two forms are
+// flagged:
+//
+//   - `go f(...)` where f returns an error: the tuple is discarded by
+//     the go statement itself, unconditionally;
+//   - a bare call statement inside a goroutine's function literal
+//     whose only result is an error.
+//
+// An explicit `_ = f()` is a visible, reviewable decision and is not
+// flagged. Route the error somewhere instead: a channel the parent
+// drains (the current listener pattern `errc <- hs.Serve(ln)`), a
+// captured slot joined by a WaitGroup, or at minimum a log.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "goroutine-launched call discards its error result; " +
+		"send it to a drained channel or record it",
+	Run: runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	p.walkStack(func(n ast.Node, stack []ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			p.checkGoroutineBody(lit.Body)
+			return true
+		}
+		// go f(...): every result is discarded by construction
+		if p.callReturnsError(g.Call) {
+			p.Reportf(g.Call.Pos(),
+				"goroutine discards the error returned by %s; launch a closure that routes it somewhere it is read", callName(g.Call))
+		}
+		return true
+	})
+}
+
+// checkGoroutineBody flags bare single-error calls in the statements
+// of a goroutine body. Nested function literals are skipped (they run
+// on whichever goroutine invokes them and are separately visible);
+// nested go statements are found by the outer walk.
+func (p *Pass) checkGoroutineBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.callResultIsLoneError(call) {
+				p.Reportf(call.Pos(),
+					"error returned by %s is silently dropped inside a goroutine; assign it (`_ = ...`) if discarding is intended, or route it to the parent", callName(call))
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// callResultIsLoneError reports whether call returns exactly one
+// value, of type error.
+func (p *Pass) callResultIsLoneError(call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+// callReturnsError reports whether any result of call is an error.
+func (p *Pass) callReturnsError(call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callName renders a short human name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "the call"
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs each analyzer over its testdata package and
+// compares the findings, line by line, against the `// want` comments
+// embedded in the fixture source. A want comment holds one or more
+// regexes (quoted or backquoted) that must each match exactly one
+// finding on that line; a finding with no matching want, or a want
+// with no finding, fails the test. Weakening an analyzer therefore
+// fails its fixture: the bug shapes below are the analyzers' contract.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("testdata", a.Name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := os.Stat(dir); err != nil {
+				t.Fatalf("analyzer %q has no fixture: %v", a.Name, err)
+			}
+			findings, err := Run(Config{Analyzers: []*Analyzer{a}}, dir)
+			if err != nil {
+				t.Fatalf("running %s over its fixture: %v", a.Name, err)
+			}
+			wants, err := parseWants(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want comments; it asserts nothing", dir)
+			}
+			checkAgainstWants(t, findings, wants)
+		})
+	}
+
+	// every testdata directory must belong to a registered analyzer —
+	// an orphan is a fixture nothing runs
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && ByName(e.Name()) == nil {
+			t.Errorf("testdata/%s matches no registered analyzer", e.Name())
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var (
+	wantMarker = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantRegex  = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+)
+
+// parseWants scans every fixture file in dir for `// want "re"` (or
+// backquoted) comments.
+func parseWants(dir string) ([]*want, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var wants []*want
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantMarker.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := wantRegex.FindAllStringSubmatch(m[1], -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment carries no quoted regex", name, i+1)
+			}
+			for _, q := range quoted {
+				pat := q[1]
+				if q[2] != "" {
+					pat = q[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regex %q: %v", name, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: filepath.Base(name), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+func checkAgainstWants(t *testing.T, findings []Finding, wants []*want) {
+	t.Helper()
+	for _, f := range findings {
+		file, line := filepath.Base(f.Pos.Filename), f.Pos.Line
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == file && w.line == line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s: %s", file, line, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing finding at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("givetake/internal/serve").
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Files are the parsed files, comments included.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of the enclosing module using
+// only the standard library: module-local import paths resolve by
+// walking the module directory, everything else (the standard library)
+// falls back to go/importer's source importer, which type-checks
+// GOROOT/src directly. No go/packages, no export data, no network.
+type Loader struct {
+	// Fset is shared by every file the loader touches.
+	Fset *token.FileSet
+	// ModuleDir / ModulePath anchor module-local import resolution.
+	ModuleDir  string
+	ModulePath string
+	// IncludeTests adds in-package _test.go files to requested (not
+	// merely imported) packages.
+	IncludeTests bool
+
+	ctxt    build.Context
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool
+}
+
+// NewLoader discovers the module root at or above dir and returns a
+// loader anchored there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ctxt := build.Default
+	// The repository is pure Go; disabling cgo keeps the source importer
+	// on the pure-Go variants of net, os/user, etc., so loading needs no
+	// cgo toolchain and writes no temp files.
+	ctxt.CgoEnabled = false
+	build.Default.CgoEnabled = false // the source importer reads build.Default
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  root,
+		ModulePath: modPath,
+		ctxt:       ctxt,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load resolves patterns into loaded packages. Supported patterns:
+// "./..." (every package under the module), "./rel/dir" and
+// "rel/dir" (one directory), and module-qualified import paths.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			ds, err := l.walkDirs(l.ModuleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			ds, err := l.walkDirs(l.resolveDir(base))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				add(d)
+			}
+		default:
+			add(l.resolveDir(pat))
+		}
+	}
+	var out []*Package
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			if isNoGo(err) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func (l *Loader) resolveDir(pat string) string {
+	if rest, ok := strings.CutPrefix(pat, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, rest)
+	}
+	if pat == l.ModulePath {
+		return l.ModuleDir
+	}
+	if filepath.IsAbs(pat) {
+		return filepath.Clean(pat)
+	}
+	return filepath.Join(l.ModuleDir, pat)
+}
+
+// walkDirs lists every directory under root holding Go files, skipping
+// VCS metadata, vendored code, and testdata fixtures.
+func (l *Loader) walkDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "vendor" ||
+				(strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dirs = append(dirs, filepath.Dir(path))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir loads and type-checks the package in dir (and, recursively,
+// everything it imports).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(abs, l.importPathFor(abs), true)
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	if strings.HasPrefix(rel, "..") {
+		// outside the module (fixture directories); synthesize a path
+		return "lintfixture/" + filepath.Base(dir)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+type noGoError struct{ dir string }
+
+func (e *noGoError) Error() string { return "lint: no buildable Go files in " + e.dir }
+
+func isNoGo(err error) bool {
+	if _, ok := err.(*noGoError); ok {
+		return true
+	}
+	var nge *build.NoGoError
+	return strings.Contains(err.Error(), "no buildable Go source files") || errorsAs(err, &nge)
+}
+
+func errorsAs(err error, target **build.NoGoError) bool {
+	e, ok := err.(*build.NoGoError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// load parses and type-checks one directory. root packages may include
+// in-package test files (when IncludeTests); imported packages never
+// do, mirroring the compiler.
+func (l *Loader) load(dir, importPath string, root bool) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, &noGoError{dir: dir}
+		}
+		return nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if root && l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	if len(names) == 0 {
+		return nil, &noGoError{dir: dir}
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, perr
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		max := len(typeErrs)
+		if max > 5 {
+			max = 5
+		}
+		msgs := make([]string, 0, max)
+		for _, e := range typeErrs[:max] {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: type-checking %s failed:\n  %s",
+			importPath, strings.Join(msgs, "\n  "))
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the loader into the go/types importer
+// interface: module-local paths load from the module tree, everything
+// else delegates to the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := l.resolveDir(path)
+		pkg, err := l.load(dir, path, false)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, 0)
+}

@@ -1,0 +1,89 @@
+// Package fixture reproduces the leaked-lease shape: an engine.Result
+// acquired and then abandoned on one early-return path, silently
+// re-growing every slab the request leased.
+package fixture
+
+import (
+	"errors"
+
+	"givetake/internal/engine"
+)
+
+// analyze stands in for engine.Analyze: a non-nil lease XOR an error.
+func analyze() (*engine.Result, error) { return &engine.Result{}, nil }
+
+// leakOnEarlyReturn is the historical bug shape: the strict-mode return
+// abandons the lease while the happy path releases it.
+func leakOnEarlyReturn(strict bool) error {
+	res, err := analyze()
+	if err != nil {
+		return err
+	}
+	if strict {
+		return errors.New("strict mode rejected the placement") // want `still live at this return`
+	}
+	res.Release()
+	return nil
+}
+
+// releasedOnAllPaths defers the release immediately; not flagged.
+func releasedOnAllPaths(strict bool) error {
+	res, err := analyze()
+	if err != nil {
+		return err
+	}
+	defer res.Release()
+	if strict {
+		return errors.New("strict mode rejected the placement")
+	}
+	return nil
+}
+
+// leakFallOff uses the lease and then just lets it go out of scope.
+func leakFallOff() {
+	res, err := analyze() // want `goes out of scope`
+	if err != nil {
+		return
+	}
+	if res.Check != nil {
+		println("checked")
+	}
+}
+
+// handoff transfers ownership over a channel; the receiver releases.
+func handoff(out chan<- *engine.Result) error {
+	res, err := analyze()
+	if err != nil {
+		return err
+	}
+	out <- res
+	return nil
+}
+
+// returned transfers ownership to the caller; not flagged.
+func returned() (*engine.Result, error) {
+	res, err := analyze()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// perProgram leaks on the even-iteration continue only.
+func perProgram(n int) {
+	for i := 0; i < n; i++ {
+		res, err := analyze()
+		if err != nil {
+			continue
+		}
+		if i%2 == 0 {
+			continue // want `still live at this continue`
+		}
+		res.Release()
+	}
+}
+
+// discarded can never be released at all.
+func discarded() {
+	_, _ = analyze() // want `discarded into _`
+}

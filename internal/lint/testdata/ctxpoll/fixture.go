@@ -1,0 +1,92 @@
+// Package fixture exercises the cooperative-cancellation convention:
+// unbounded loops on context-bearing paths must consult the context at
+// a bounded interval — directly, through a stored Done channel, through
+// a closure over one, or by delegating to a method of the
+// context-carrying receiver.
+package fixture
+
+import "context"
+
+// worklistRacy drains without ever looking up; a hung client keeps the
+// worker forever.
+func worklistRacy(ctx context.Context, wl []int) int {
+	n := 0
+	for len(wl) > 0 { // want `never polls the context`
+		n += wl[0]
+		wl = wl[1:]
+	}
+	return n
+}
+
+// worklistPolled checks ctx.Err() each iteration; not flagged.
+func worklistPolled(ctx context.Context, wl []int) error {
+	for len(wl) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		wl = wl[1:]
+	}
+	return nil
+}
+
+// closurePoll is the solver's pattern: a helper closure over a stored
+// Done channel counts as polling.
+func closurePoll(ctx context.Context, wl []int) {
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	for len(wl) > 0 {
+		if canceled() {
+			return
+		}
+		wl = wl[1:]
+	}
+}
+
+// counted loops terminate with their bound and are exempt.
+func counted(ctx context.Context) int {
+	s := 0
+	for i := 0; i < 1000; i++ {
+		s += i
+	}
+	return s
+}
+
+// executor stores its cancellation signal the way the interpreter does.
+type executor struct {
+	done <-chan struct{}
+	pc   int
+}
+
+func (ex *executor) tick() bool {
+	select {
+	case <-ex.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// run delegates polling to a method on the context-bearing receiver;
+// not flagged.
+func (ex *executor) run(stmts []int) {
+	for len(stmts) > 0 {
+		if !ex.tick() {
+			return
+		}
+		stmts = stmts[1:]
+	}
+}
+
+// spin touches neither the done field nor any method of the receiver.
+func (ex *executor) spin(n int) {
+	for n > 0 { // want `never polls the context`
+		n--
+	}
+}

@@ -1,0 +1,38 @@
+// Package fixture reproduces the swallowed-bind-error shape: a
+// goroutine-launched call whose error result vanishes, so a port
+// conflict masquerades as a clean shutdown.
+package fixture
+
+import "errors"
+
+type server struct{}
+
+func (s *server) ListenAndServe() error { return errors.New("bind: address already in use") }
+func (s *server) Close() error          { return nil }
+
+// launchRacy is the historical bug shape: the go statement discards the
+// whole result tuple, unconditionally.
+func launchRacy(s *server) {
+	go s.ListenAndServe() // want `goroutine discards the error`
+}
+
+// launchDropsInClosure hides the same drop one layer down.
+func launchDropsInClosure(s *server) {
+	go func() {
+		s.ListenAndServe() // want `silently dropped inside a goroutine`
+	}()
+}
+
+// launchRouted sends the error to a channel the parent drains — the
+// repository's listener pattern; not flagged.
+func launchRouted(s *server) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+	return errc
+}
+
+// launchExplicit makes the discard a visible, reviewable decision; not
+// flagged.
+func launchExplicit(s *server) {
+	go func() { _ = s.Close() }()
+}

@@ -1,0 +1,80 @@
+// Package fixture reproduces the cache-stats race: a counter and the
+// store it describes committed in separate critical sections, letting a
+// concurrent snapshot observe one without the other.
+package fixture
+
+import "sync"
+
+// statCache scopes its guard with a comment: only the named fields are
+// guarded by mu; gen is deliberately outside the contract.
+type statCache struct {
+	mu      sync.Mutex // guards hits, misses, entries
+	hits    int64
+	misses  int64
+	entries map[string]int
+	gen     int
+}
+
+// recordMissRacy is the historical bug shape.
+func (c *statCache) recordMissRacy() {
+	c.misses++ // want `guarded by .mu. but written without it held`
+}
+
+func (c *statCache) recordMiss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// storeOnce is the early-exit idiom branch-aware tracking must not
+// misread: the Unlock inside the hit branch does not release the lock
+// on the fall-through path.
+func (c *statCache) storeOnce(k string) {
+	c.mu.Lock()
+	if _, ok := c.entries[k]; ok {
+		c.mu.Unlock()
+		return
+	}
+	c.entries[k] = 1
+	c.hits++
+	c.mu.Unlock()
+}
+
+// splitCommit reacquires nothing after its critical section; the
+// trailing counter bump races with readers.
+func (c *statCache) splitCommit(k string) {
+	c.mu.Lock()
+	c.entries[k] = 1
+	c.mu.Unlock()
+	c.misses++ // want `guarded by .mu. but written without it held`
+}
+
+// putLocked follows the caller-holds-the-lock naming convention.
+func (c *statCache) putLocked(k string, n int) {
+	c.entries[k] = n
+}
+
+// bumpGen writes an unguarded field; no finding.
+func (c *statCache) bumpGen() {
+	c.gen++
+}
+
+// rwStats has no guard comment: the positional convention applies, so
+// every field after the mutex is guarded by it.
+type rwStats struct {
+	mu sync.RWMutex
+	n  int64
+}
+
+// bumpUnderRead holds the wrong half of the RWMutex for a write.
+func (s *rwStats) bumpUnderRead() {
+	s.mu.RLock()
+	s.n++ // want `holding only mu\.RLock`
+	s.mu.RUnlock()
+}
+
+func (s *rwStats) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// TimerLeak flags time.After calls lexically inside a loop. Each
+// time.After allocates a timer the runtime cannot collect until it
+// fires; in a request or retry loop that churns one leaked timer per
+// iteration — the exact shape of the PR 5 admission-gate leak. The
+// fix is a single time.NewTimer outside the loop (or Stop on every
+// exit path), which is also what the serve admission gate does now.
+var TimerLeak = &Analyzer{
+	Name: "timerleak",
+	Doc: "time.After inside a for loop leaks one timer per iteration; " +
+		"use time.NewTimer with Stop",
+	Run: runTimerLeak,
+}
+
+func runTimerLeak(p *Pass) {
+	p.walkStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isPkgFunc(p.calleeFunc(call), "time", "After") {
+			return true
+		}
+		// lexically enclosing loop, stopping at function boundaries: a
+		// closure *defined* in a loop body runs once per call, but its
+		// body is still per-iteration code when the loop invokes it —
+		// only a func boundary makes the timer's lifetime independent
+		// of the loop, and even then the closure usually runs inside
+		// the iteration. Be conservative: any enclosing loop counts.
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				p.Reportf(call.Pos(),
+					"time.After inside a loop leaks one timer per iteration until it fires; use time.NewTimer and Stop it on every exit path")
+				return true
+			}
+		}
+		return true
+	})
+}

@@ -1,24 +1,23 @@
-package obs
+package obs_test
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"path/filepath"
 	"runtime"
-	"strconv"
-	"strings"
 	"testing"
+
+	"givetake/internal/lint"
+	"givetake/internal/obs"
 )
 
-// TestNoUndeclaredSpanOrCounterNames walks every non-test Go file in
-// the repository and asserts that any span or counter name passed as a
-// string literal to obs.Begin, obs.Count, or a BeginSpan method is
-// declared in names.go. Emission sites that use the declared constants
-// are correct by construction; this test exists so a new call site
-// cannot mint an ad-hoc name that the telemetry layer and trace
-// consumers would silently miss.
+// TestNoUndeclaredSpanOrCounterNames runs the obsnames analyzer over
+// the whole repository and asserts it comes back clean: every span or
+// counter name reaching obs.Begin, obs.Count, or a Collector method is
+// declared in names.go. This used to be a hand-rolled AST walk over
+// string literals; the type-aware analyzer it delegates to now also
+// resolves aliased imports, named constants, and dynamic
+// prefix+variant names, so an ad-hoc name cannot hide behind any of
+// those. (The test lives in obs_test to avoid the obs → lint → obs
+// import cycle.)
 func TestNoUndeclaredSpanOrCounterNames(t *testing.T) {
 	_, self, _, ok := runtime.Caller(0)
 	if !ok {
@@ -26,71 +25,16 @@ func TestNoUndeclaredSpanOrCounterNames(t *testing.T) {
 	}
 	root := filepath.Clean(filepath.Join(filepath.Dir(self), "..", ".."))
 
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name == ".git" || name == "testdata" || name == "vendor" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		f, perr := parser.ParseFile(fset, path, nil, 0)
-		if perr != nil {
-			return perr
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			var nameArg ast.Expr
-			var check func(string) bool
-			var kind string
-			switch {
-			case isPkgCall(sel, "obs", "Begin") && len(call.Args) >= 2:
-				nameArg, check, kind = call.Args[1], KnownSpan, "span"
-			case isPkgCall(sel, "obs", "Count") && len(call.Args) >= 2:
-				nameArg, check, kind = call.Args[1], KnownCounter, "counter"
-			case sel.Sel.Name == "BeginSpan" && len(call.Args) >= 1:
-				nameArg, check, kind = call.Args[0], KnownSpan, "span"
-			default:
-				return true
-			}
-			lit, ok := nameArg.(*ast.BasicLit)
-			if !ok || lit.Kind != token.STRING {
-				return true // a constant or expression; constants are declared here
-			}
-			name, uerr := strconv.Unquote(lit.Value)
-			if uerr != nil {
-				return true
-			}
-			if !check(name) {
-				t.Errorf("%s: %s name %q is not declared in internal/obs/names.go",
-					fset.Position(lit.Pos()), kind, name)
-			}
-			return true
-		})
-		return nil
-	})
+	findings, err := lint.Run(lint.Config{
+		Dir:       root,
+		Analyzers: []*lint.Analyzer{lint.ObsNames},
+	}, "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
-}
-
-func isPkgCall(sel *ast.SelectorExpr, pkg, fn string) bool {
-	id, ok := sel.X.(*ast.Ident)
-	return ok && id.Name == pkg && sel.Sel.Name == fn
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
 }
 
 // TestDeclaredNamesSelfConsistent pins the vocabulary's own shape:
@@ -109,25 +53,25 @@ func TestDeclaredNamesSelfConsistent(t *testing.T) {
 			seen[n] = group
 		}
 	}
-	note("spans", Spans())
-	note("span-prefixes", SpanPrefixes())
-	note("counters", Counters())
-	note("metrics", Metrics())
+	note("spans", obs.Spans())
+	note("span-prefixes", obs.SpanPrefixes())
+	note("counters", obs.Counters())
+	note("metrics", obs.Metrics())
 
-	for _, s := range Spans() {
-		if !KnownSpan(s) {
+	for _, s := range obs.Spans() {
+		if !obs.KnownSpan(s) {
 			t.Errorf("declared span %q not known", s)
 		}
 	}
-	for _, c := range Counters() {
-		if !KnownCounter(c) {
+	for _, c := range obs.Counters() {
+		if !obs.KnownCounter(c) {
 			t.Errorf("declared counter %q not known", c)
 		}
 	}
-	if KnownSpan("never-declared") || KnownCounter("never-declared") || KnownMetric("never-declared") {
+	if obs.KnownSpan("never-declared") || obs.KnownCounter("never-declared") || obs.KnownMetric("never-declared") {
 		t.Error("unknown name reported as known")
 	}
-	if !KnownSpan(SpanPrefixExecute + "variant") {
+	if !obs.KnownSpan(obs.SpanPrefixExecute + "variant") {
 		t.Error("declared prefix does not admit its dynamic names")
 	}
 }

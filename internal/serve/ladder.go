@@ -263,10 +263,8 @@ func (s *Server) ladder(ctx context.Context, prog *ir.Program, req *Request, res
 				panic(fmt.Sprintf("chaos: injected panic at rung %q", att.Name))
 			}
 			if chaos != nil && chaos.StallMS > 0 {
-				select {
-				case <-time.After(time.Duration(chaos.StallMS) * time.Millisecond):
-				case <-ctx.Done():
-					return nil, ctx.Err()
+				if err := stallFor(ctx, time.Duration(chaos.StallMS)*time.Millisecond); err != nil {
+					return nil, err
 				}
 			}
 			var post func(*comm.Analysis)
@@ -419,4 +417,20 @@ func (s *Server) Analyze(ctx context.Context, req *Request) *Response {
 
 func msSince(t time.Time) float64 {
 	return float64(time.Since(t).Microseconds()) / 1000
+}
+
+// stallFor blocks for d or until ctx is done, whichever comes first,
+// returning ctx's error in the latter case. Unlike time.After, the
+// timer is stopped on the cancellation path, so a chaos-stalled ladder
+// under load does not accumulate one pending timer per canceled
+// request.
+func stallFor(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

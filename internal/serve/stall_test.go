@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestStallForHonorsCancellation is the regression test for the chaos
+// stall: the old time.After select leaked one pending timer per
+// canceled request. stallFor must return promptly on cancellation and
+// stop its timer on that path.
+func TestStallForHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := stallFor(ctx, 5*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("stallFor waited %v after cancellation", elapsed)
+	}
+}
+
+func TestStallForElapses(t *testing.T) {
+	start := time.Now()
+	if err := stallFor(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("stallFor returned before its duration elapsed")
+	}
+}
+
+// TestStallForDeadline covers the deadline flavor of cancellation.
+func TestStallForDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := stallFor(ctx, 5*time.Second); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}

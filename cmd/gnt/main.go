@@ -18,7 +18,11 @@
 //	-mode stats     full observability report (phases, solver, runtime)
 //	-mode check     statically verify C1–C3/O1 and lint the placement
 //	-mode serve     run the hardened HTTP analysis service (see -addr)
-//	-addr addr      listen address for -mode serve (default :8075)
+//	-mode route     run the cluster router in front of -nodes serve nodes
+//	-addr addr      listen address for -mode serve/route (default :8075)
+//	-nodes a,b,c    comma-separated serve node addresses for -mode route
+//	-replicas K     replica-set size per key for -mode route (default 2)
+//	-probe-ms N     health-probe interval in ms for -mode route (default 250)
 //	-workers N      engine worker pool size for -mode serve (0: GOMAXPROCS)
 //	-cache-mb N     result-cache budget in MiB for -mode serve (0: default, -1: off)
 //	-atomic         emit atomic READ/WRITE instead of Send/Recv halves
@@ -49,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -56,6 +61,7 @@ import (
 	"givetake/internal/cfg"
 	"givetake/internal/check"
 	"givetake/internal/check/mutate"
+	"givetake/internal/cluster"
 	"givetake/internal/comm"
 	"givetake/internal/interp"
 	"givetake/internal/ir"
@@ -82,8 +88,11 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("gnt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	mode := fs.String("mode", "comm", "comm | graph | dump | pre | prefetch | run | stats | check | serve")
-	addr := fs.String("addr", ":8075", "listen address for -mode serve")
+	mode := fs.String("mode", "comm", "comm | graph | dump | pre | prefetch | run | stats | check | serve | route")
+	addr := fs.String("addr", ":8075", "listen address for -mode serve/route")
+	nodes := fs.String("nodes", "", "comma-separated serve node addresses for -mode route")
+	replicas := fs.Int("replicas", 0, "replica-set size per key for -mode route (0: default 2)")
+	probeMS := fs.Int64("probe-ms", 0, "health-probe interval in ms for -mode route (0: default 250)")
 	workers := fs.Int("workers", 0, "engine worker pool size for -mode serve (0: GOMAXPROCS)")
 	cacheMB := fs.Int64("cache-mb", 0, "result-cache budget in MiB for -mode serve (0: default, -1: off)")
 	journalDir := fs.String("journal-dir", "", "durable result journal directory for -mode serve (empty: no journal)")
@@ -109,6 +118,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *mode == "route" {
+		return runRoute(*addr, *nodes, *replicas, *probeMS, stderr)
+	}
 	if *mode == "serve" {
 		return runServe(serveFlags{
 			addr: *addr, workers: *workers, cacheMB: *cacheMB,
@@ -223,6 +235,40 @@ func runServe(f serveFlags, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "gnt: serving on %s (POST /analyze, POST /batch, GET /healthz, GET /readyz, GET /metrics, GET /debug/requests; %d workers%s%s)\n",
 		f.addr, s.Engine().Workers(), durable, profiling)
 	err = s.ListenAndServe(ctx)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// runRoute starts the cluster router (internal/cluster) over the given
+// serve nodes and blocks until SIGINT/SIGTERM, then drains: /readyz
+// flips to draining first so upstream balancers stop sending, the
+// listener stays open for the grace window, then closes gracefully.
+func runRoute(addr, nodes string, replicas int, probeMS int64, stderr io.Writer) error {
+	var nodeList []string
+	for _, n := range strings.Split(nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodeList = append(nodeList, n)
+		}
+	}
+	if len(nodeList) == 0 {
+		return errors.New("-mode route needs -nodes host:port[,host:port...]")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r, err := cluster.New(cluster.Config{
+		Addr:          addr,
+		Nodes:         nodeList,
+		Replicas:      replicas,
+		ProbeInterval: time.Duration(probeMS) * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "gnt: routing on %s over %d nodes (POST /analyze, POST /batch, GET /healthz, GET /readyz, GET /metrics, GET /debug/requests)\n",
+		addr, len(nodeList))
+	err = r.ListenAndServe(ctx)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}

@@ -1,0 +1,383 @@
+// Command gntload is an open-loop load generator for gnt serve nodes
+// and the cluster router: it fires analysis requests at a fixed
+// arrival rate (never waiting for responses — the loop every closed
+// client gets wrong under saturation), draws keys from a zipf
+// distribution over a program corpus so the cache sees realistic skew,
+// and prints a JSON summary: latency quantiles and histogram, per-
+// status and per-X-Gnt-Cache breakdowns, and transport errors.
+//
+// Usage:
+//
+//	gntload [flags]
+//
+//	-url URL           target base URL (default http://127.0.0.1:8075)
+//	-rate R            arrival rate in requests/second (default 50)
+//	-duration D        how long to generate load (default 5s)
+//	-timeout D         per-request timeout (default 10s)
+//	-corpus DIR        directory of *.f programs to draw from
+//	-keys N            synthetic corpus size when no -corpus (default 64)
+//	-zipf-s S          zipf skew exponent s > 1 (default 1.2)
+//	-seed N            key-sequence seed (default 1)
+//	-assert-no-5xx     exit nonzero if any 5xx was observed
+//	-verify-against U  before the run, POST every corpus entry to both URLs
+//	                   and require identical analysis payloads
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"givetake/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gntload:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	url           string
+	rate          float64
+	duration      time.Duration
+	timeout       time.Duration
+	corpusDir     string
+	keys          int
+	zipfS         float64
+	seed          int64
+	assertNo5xx   bool
+	verifyAgainst string
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gntload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.url, "url", "http://127.0.0.1:8075", "target base URL")
+	fs.Float64Var(&o.rate, "rate", 50, "arrival rate in requests/second")
+	fs.DurationVar(&o.duration, "duration", 5*time.Second, "load duration")
+	fs.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-request timeout")
+	fs.StringVar(&o.corpusDir, "corpus", "", "directory of *.f programs (empty: synthetic corpus)")
+	fs.IntVar(&o.keys, "keys", 64, "synthetic corpus size when no -corpus")
+	fs.Float64Var(&o.zipfS, "zipf-s", 1.2, "zipf skew exponent (s > 1)")
+	fs.Int64Var(&o.seed, "seed", 1, "key-sequence seed")
+	fs.BoolVar(&o.assertNo5xx, "assert-no-5xx", false, "exit nonzero if any 5xx was observed")
+	fs.StringVar(&o.verifyAgainst, "verify-against", "", "reference URL that must produce identical analysis payloads")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.rate <= 0 {
+		return errors.New("-rate must be positive")
+	}
+	if o.zipfS <= 1 {
+		return errors.New("-zipf-s must be > 1")
+	}
+
+	corpus, err := loadCorpus(o.corpusDir, o.keys)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: o.timeout}
+	if o.verifyAgainst != "" {
+		if err := verifyCorpus(client, o.url, o.verifyAgainst, corpus, stderr); err != nil {
+			return err
+		}
+	}
+
+	sum := generate(context.Background(), client, o, corpus)
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		return err
+	}
+	if o.assertNo5xx && sum.FiveXX > 0 {
+		return fmt.Errorf("assertion failed: %d responses were 5xx", sum.FiveXX)
+	}
+	return nil
+}
+
+// loadCorpus reads *.f files from dir, or synthesizes n distinct
+// programs (the base exemplar plus a growing tail of blank lines — the
+// same program semantically, a distinct cache key each).
+func loadCorpus(dir string, n int) ([]string, error) {
+	if dir == "" {
+		if n <= 0 {
+			n = 1
+		}
+		out := make([]string, n)
+		for i := range out {
+			out[i] = baseProgram + strings.Repeat("\n", i)
+		}
+		return out, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.f"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no *.f programs under %s", dir)
+	}
+	sort.Strings(paths)
+	out := make([]string, 0, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, string(b))
+	}
+	return out, nil
+}
+
+const baseProgram = `distributed x(1000)
+real y(1000)
+
+do i = 1, n
+    y(i) = x(i) + 1
+enddo
+`
+
+// Summary is gntload's JSON report.
+type Summary struct {
+	Target     string  `json:"target"`
+	RateTarget float64 `json:"rate_target"`
+	DurationS  float64 `json:"duration_s"`
+	Corpus     int     `json:"corpus"`
+
+	Requests        int            `json:"requests"`
+	AchievedRate    float64        `json:"achieved_rate"`
+	ByStatus        map[string]int `json:"by_status"`
+	ByCache         map[string]int `json:"by_cache"`
+	TransportErrors int            `json:"transport_errors"`
+	FiveXX          int            `json:"five_xx"`
+
+	Latency   LatencySummary `json:"latency_ms"`
+	Histogram []Bucket       `json:"histogram"`
+}
+
+// LatencySummary holds the response-time quantiles in milliseconds.
+type LatencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Bucket is one cumulative latency-histogram cell.
+type Bucket struct {
+	LeMS  float64 `json:"le_ms"`
+	Count int     `json:"count"`
+}
+
+// histogramBounds are the cumulative bucket upper bounds in ms.
+var histogramBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// collector accumulates per-request outcomes from the worker
+// goroutines.
+type collector struct {
+	mu        sync.Mutex // guards lats, byStatus, byCache, transport, fiveXX
+	lats      []time.Duration
+	byStatus  map[string]int
+	byCache   map[string]int
+	transport int
+	fiveXX    int
+}
+
+func newCollector() *collector {
+	return &collector{byStatus: map[string]int{}, byCache: map[string]int{}}
+}
+
+func (c *collector) noteError() {
+	c.mu.Lock()
+	c.transport++
+	c.mu.Unlock()
+}
+
+func (c *collector) note(status int, cache string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lats = append(c.lats, d)
+	c.byStatus[fmt.Sprintf("%d", status)]++
+	if cache == "" {
+		cache = "none"
+	}
+	c.byCache[cache]++
+	if status >= 500 {
+		c.fiveXX++
+	}
+}
+
+// generate runs the open loop: one request is launched at every tick of
+// the arrival clock whether or not earlier ones have answered, so a
+// saturated target sees the true arrival rate instead of a politely
+// self-throttling client.
+func generate(ctx context.Context, client *http.Client, o options, corpus []string) *Summary {
+	rng := rand.New(rand.NewSource(o.seed))
+	zipf := rand.NewZipf(rng, o.zipfS, 1, uint64(len(corpus)-1))
+
+	col := newCollector()
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / o.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	deadline := time.NewTimer(o.duration)
+	defer deadline.Stop()
+
+	start := time.Now()
+	launched := 0
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-tick.C:
+			src := corpus[zipf.Uint64()]
+			launched++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				shoot(client, o.url, src, col)
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	sum := &Summary{
+		Target:     o.url,
+		RateTarget: o.rate,
+		DurationS:  elapsed.Seconds(),
+		Corpus:     len(corpus),
+
+		Requests:        launched,
+		ByStatus:        col.byStatus,
+		ByCache:         col.byCache,
+		TransportErrors: col.transport,
+		FiveXX:          col.fiveXX,
+	}
+	if elapsed > 0 {
+		sum.AchievedRate = float64(launched) / elapsed.Seconds()
+	}
+	sum.Latency, sum.Histogram = summarize(col.lats)
+	return sum
+}
+
+// shoot fires one request and records its outcome.
+func shoot(client *http.Client, url, src string, col *collector) {
+	b, err := json.Marshal(serve.Request{Source: src})
+	if err != nil {
+		col.noteError()
+		return
+	}
+	start := time.Now()
+	resp, err := client.Post(url+"/analyze", "application/json", bytes.NewReader(b))
+	if err != nil {
+		col.noteError()
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	col.note(resp.StatusCode, resp.Header.Get("X-Gnt-Cache"), time.Since(start))
+}
+
+// summarize turns raw latencies into quantiles plus the cumulative
+// histogram.
+func summarize(lats []time.Duration) (LatencySummary, []Bucket) {
+	buckets := make([]Bucket, len(histogramBounds))
+	for i, b := range histogramBounds {
+		buckets[i].LeMS = b
+	}
+	if len(lats) == 0 {
+		return LatencySummary{}, buckets
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	q := func(p int) float64 { return ms(lats[(len(lats)-1)*p/100]) }
+	var total time.Duration
+	for _, d := range lats {
+		total += d
+		for i, b := range histogramBounds {
+			if ms(d) <= b {
+				buckets[i].Count++
+			}
+		}
+	}
+	return LatencySummary{
+		Mean: ms(total) / float64(len(lats)),
+		P50:  q(50),
+		P90:  q(90),
+		P99:  q(99),
+		Max:  ms(lats[len(lats)-1]),
+	}, buckets
+}
+
+// verifyCorpus posts every corpus program to both URLs and requires
+// identical analysis payloads: ok, rung, and the annotated program
+// byte-for-byte. (Whole-body comparison would trip over timing fields;
+// the annotated text IS the answer.)
+func verifyCorpus(client *http.Client, url, refURL string, corpus []string, stderr io.Writer) error {
+	for i, src := range corpus {
+		got, err := fetchPayload(client, url, src)
+		if err != nil {
+			return fmt.Errorf("verify: target %s program %d: %w", url, i, err)
+		}
+		want, err := fetchPayload(client, refURL, src)
+		if err != nil {
+			return fmt.Errorf("verify: reference %s program %d: %w", refURL, i, err)
+		}
+		if got != want {
+			return fmt.Errorf("verify: program %d differs between %s and %s:\n--- target\n%s\n--- reference\n%s",
+				i, url, refURL, got, want)
+		}
+	}
+	fmt.Fprintf(stderr, "gntload: verified %d programs identical on %s and %s\n", len(corpus), url, refURL)
+	return nil
+}
+
+// fetchPayload extracts the comparable slice of one analysis response.
+func fetchPayload(client *http.Client, url, src string) (string, error) {
+	b, err := json.Marshal(serve.Request{Source: src})
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Post(url+"/analyze", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var r serve.Response
+	if err := json.Unmarshal(body, &r); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("ok=%t rung=%d\n%s", r.OK, r.Rung, r.Annotated), nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"givetake/internal/serve"
+)
+
+// fakeNode answers /analyze like a serve node: 200 with a canned
+// annotated payload, a configurable slice of 5xx, and an X-Gnt-Cache
+// header that flips to hit after the first sight of a body.
+func fakeNode(t *testing.T, annotated string, everyNth5xx int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var reqs atomic.Int64
+	var mu sync.Mutex // guards cached
+	cached := map[string]bool{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := reqs.Add(1)
+		if everyNth5xx > 0 && n%everyNth5xx == 0 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		var r serve.Request
+		_ = json.NewDecoder(req.Body).Decode(&r)
+		mu.Lock()
+		hit := cached[r.Source]
+		cached[r.Source] = true
+		mu.Unlock()
+		cache := "miss"
+		if hit {
+			cache = "hit"
+		}
+		w.Header().Set("X-Gnt-Cache", cache)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(serve.Response{OK: true, Rung: 1, Annotated: annotated})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &reqs
+}
+
+// TestRunProducesSummary drives a short open-loop run and checks the
+// summary's accounting: statuses, cache split, rates, histogram.
+func TestRunProducesSummary(t *testing.T) {
+	ts, reqs := fakeNode(t, "annotated", 0)
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-rate", "400", "-duration", "300ms",
+		"-keys", "4", "-seed", "7",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr %s)", err, errb.String())
+	}
+	var sum Summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("summary is not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Requests == 0 || int64(sum.Requests) != reqs.Load() {
+		t.Fatalf("summary requests = %d, server saw %d", sum.Requests, reqs.Load())
+	}
+	if sum.ByStatus["200"] != sum.Requests {
+		t.Fatalf("by_status = %v, want all %d under 200", sum.ByStatus, sum.Requests)
+	}
+	// zipf over 4 keys: the first few are repeats, so hits dominate
+	if sum.ByCache["hit"] == 0 || sum.ByCache["hit"]+sum.ByCache["miss"] != sum.Requests {
+		t.Fatalf("by_cache = %v inconsistent with %d requests", sum.ByCache, sum.Requests)
+	}
+	if sum.FiveXX != 0 || sum.TransportErrors != 0 {
+		t.Fatalf("clean run reported five_xx=%d transport=%d", sum.FiveXX, sum.TransportErrors)
+	}
+	if sum.Latency.P99 < sum.Latency.P50 || sum.Latency.Max == 0 {
+		t.Fatalf("latency summary inconsistent: %+v", sum.Latency)
+	}
+	last := sum.Histogram[len(sum.Histogram)-1]
+	if last.Count != sum.Requests {
+		t.Fatalf("histogram tail count = %d, want %d", last.Count, sum.Requests)
+	}
+}
+
+// TestAssertNo5xx: the flag must turn observed 5xx into a nonzero
+// exit while still printing the summary.
+func TestAssertNo5xx(t *testing.T) {
+	ts, _ := fakeNode(t, "annotated", 2) // every 2nd answer is a 500
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-rate", "200", "-duration", "200ms", "-assert-no-5xx",
+	}, &out, &errb)
+	if err == nil {
+		t.Fatal("run with 5xx responses and -assert-no-5xx must fail")
+	}
+	var sum Summary
+	if jerr := json.Unmarshal(out.Bytes(), &sum); jerr != nil {
+		t.Fatalf("summary must still be printed: %v", jerr)
+	}
+	if sum.FiveXX == 0 {
+		t.Fatal("summary must count the 5xx answers")
+	}
+}
+
+// TestVerifyAgainst pins the byte-identity check: identical payloads
+// pass, a diverging annotated program fails before any load is sent.
+func TestVerifyAgainst(t *testing.T) {
+	a, _ := fakeNode(t, "same", 0)
+	b, _ := fakeNode(t, "same", 0)
+	var out, errb bytes.Buffer
+	if err := run([]string{
+		"-url", a.URL, "-verify-against", b.URL,
+		"-rate", "100", "-duration", "50ms", "-keys", "3",
+	}, &out, &errb); err != nil {
+		t.Fatalf("identical nodes must verify: %v", err)
+	}
+	if !strings.Contains(errb.String(), "verified 3 programs") {
+		t.Fatalf("stderr missing verification note: %s", errb.String())
+	}
+
+	c, _ := fakeNode(t, "different", 0)
+	out.Reset()
+	if err := run([]string{
+		"-url", a.URL, "-verify-against", c.URL,
+		"-rate", "100", "-duration", "50ms", "-keys", "2",
+	}, &out, &errb); err == nil {
+		t.Fatal("diverging annotated payloads must fail verification")
+	}
+}
+
+// TestFlagValidation covers the rejects.
+func TestFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-rate", "0"}, &out, &errb); err == nil {
+		t.Fatal("-rate 0 must be rejected")
+	}
+	if err := run([]string{"-zipf-s", "1"}, &out, &errb); err == nil {
+		t.Fatal("-zipf-s 1 must be rejected")
+	}
+	if err := run([]string{"-corpus", t.TempDir()}, &out, &errb); err == nil {
+		t.Fatal("empty corpus dir must be rejected")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	lat, hist := summarize(nil)
+	if lat.Max != 0 || len(hist) == 0 {
+		t.Fatalf("empty summarize = %+v %v", lat, hist)
+	}
+}

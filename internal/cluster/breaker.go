@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+)
+
+// BreakerState is one node's circuit-breaker position. The state
+// machine lifts netsim's message-level recovery discipline to the node
+// level: failures accumulate to a threshold instead of ejecting on the
+// first blip, recovery is probed through a half-open trickle instead
+// of slamming traffic back, and every transition is observable.
+type BreakerState int
+
+const (
+	// StateClosed: healthy, traffic flows.
+	StateClosed BreakerState = iota
+	// StateHalfOpen: a probe succeeded after the breaker opened; the
+	// router sends at most one trial request at a time until enough
+	// consecutive successes close the breaker again.
+	StateHalfOpen
+	// StateOpen: consecutive failures crossed the threshold; no traffic
+	// until a probe succeeds.
+	StateOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// node is one backend `gnt -mode serve` process as the router sees it:
+// an address plus a breaker. Active probes (prober.go) and passive
+// in-band outcomes (router.go) feed the same state machine, so a dying
+// node is ejected by whichever signal arrives first.
+type node struct {
+	name string // host:port, the label on every metric series
+	base string // http://host:port
+
+	mu          sync.Mutex // guards state, polite, reason, consecFails, consecOKs, trial, lastErr
+	state       BreakerState
+	polite      bool   // node answered readyz 503: alive but declining (draining/warming)
+	reason      string // the polite 503's reason field
+	consecFails int
+	consecOKs   int
+	trial       bool // a half-open trial request is in flight
+	lastErr     string
+}
+
+// newNode normalizes one configured address ("host:port" or a full
+// http URL) into a node.
+func newNode(addr string) *node {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	name := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	return &node{name: name, base: base}
+}
+
+// available reports whether the router may send NEW work here, and —
+// when the node is half-open — reserves the single trial slot. A
+// caller that got (true, true) must call releaseTrial when its attempt
+// completes.
+func (n *node) available() (ok, isTrial bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.polite {
+		return false, false
+	}
+	switch n.state {
+	case StateClosed:
+		return true, false
+	case StateHalfOpen:
+		if n.trial {
+			return false, false
+		}
+		n.trial = true
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+func (n *node) releaseTrial() {
+	n.mu.Lock()
+	n.trial = false
+	n.mu.Unlock()
+}
+
+// noteSuccess records one successful interaction (in-band response or
+// probe). Returns true when the breaker state changed.
+func (n *node) noteSuccess(recoverThreshold int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.consecFails = 0
+	n.lastErr = ""
+	switch n.state {
+	case StateHalfOpen:
+		n.consecOKs++
+		if n.consecOKs >= recoverThreshold {
+			n.state = StateClosed
+			return true
+		}
+	case StateOpen:
+		// first good signal after opening: crack the breaker half-open
+		n.state = StateHalfOpen
+		n.consecOKs = 1
+		return true
+	default:
+		n.consecOKs++
+	}
+	return false
+}
+
+// noteFailure records one failed interaction (connect error, timeout,
+// 5xx, failed probe). Returns true when the breaker state changed.
+func (n *node) noteFailure(failThreshold int, detail string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.consecOKs = 0
+	n.consecFails++
+	n.lastErr = detail
+	switch n.state {
+	case StateClosed:
+		if n.consecFails >= failThreshold {
+			n.state = StateOpen
+			return true
+		}
+	case StateHalfOpen:
+		// the trial (or a probe) failed: back to open immediately
+		n.state = StateOpen
+		return true
+	}
+	return false
+}
+
+// notePolite records a readyz 503 that carries a reason: the node is
+// alive but declining new work (draining before shutdown, warming
+// after restart). That is neither a success nor a failure — the
+// breaker holds, the node just leaves the available set.
+func (n *node) notePolite(reason string) {
+	n.mu.Lock()
+	n.polite = true
+	n.reason = reason
+	// a polite answer proves the process is up; it must not keep
+	// accumulating toward the failure threshold
+	n.consecFails = 0
+	n.mu.Unlock()
+}
+
+// clearPolite ends a polite-decline episode (the node answered readyz
+// 200 again).
+func (n *node) clearPolite() {
+	n.mu.Lock()
+	n.polite = false
+	n.reason = ""
+	n.mu.Unlock()
+}
+
+// NodeHealth is one node's block in the router's /healthz payload.
+type NodeHealth struct {
+	Name        string `json:"name"`
+	State       string `json:"state"`
+	Reason      string `json:"reason,omitempty"` // draining|warming while politely unavailable
+	ConsecFails int    `json:"consec_fails,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+func (n *node) health() NodeHealth {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return NodeHealth{
+		Name:        n.name,
+		State:       n.state.String(),
+		Reason:      n.reason,
+		ConsecFails: n.consecFails,
+		LastError:   n.lastErr,
+	}
+}
+
+// stateGauge encodes the node's state for gnt_route_node_state: 0
+// open, 1 half-open, 2 closed; minus 0.5 while politely unavailable.
+func (n *node) stateGauge() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var v float64
+	switch n.state {
+	case StateClosed:
+		v = 2
+	case StateHalfOpen:
+		v = 1
+	}
+	if n.polite {
+		v -= 0.5
+	}
+	return v
+}

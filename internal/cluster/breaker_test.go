@@ -1,0 +1,139 @@
+package cluster
+
+import "testing"
+
+func TestNewNodeNormalizesAddress(t *testing.T) {
+	for _, tc := range []struct{ in, name, base string }{
+		{"127.0.0.1:8081", "127.0.0.1:8081", "http://127.0.0.1:8081"},
+		{"http://127.0.0.1:8081", "127.0.0.1:8081", "http://127.0.0.1:8081"},
+		{"http://127.0.0.1:8081/", "127.0.0.1:8081", "http://127.0.0.1:8081"},
+	} {
+		n := newNode(tc.in)
+		if n.name != tc.name || n.base != tc.base {
+			t.Errorf("newNode(%q) = {%s %s}, want {%s %s}", tc.in, n.name, n.base, tc.name, tc.base)
+		}
+	}
+}
+
+// TestBreakerLifecycle walks the full state machine: closed survives
+// sub-threshold failures, opens at the threshold, a success cracks it
+// half-open, and the recover threshold closes it again.
+func TestBreakerLifecycle(t *testing.T) {
+	n := newNode("x:1")
+	const failAt, recoverAt = 3, 2
+
+	if ok, _ := n.available(); !ok {
+		t.Fatal("fresh node must be available")
+	}
+	n.noteFailure(failAt, "boom")
+	n.noteFailure(failAt, "boom")
+	if st := n.health().State; st != "closed" {
+		t.Fatalf("2/3 failures moved state to %s, want closed", st)
+	}
+	if !n.noteFailure(failAt, "boom") {
+		t.Fatal("third failure must report a state change")
+	}
+	if st := n.health().State; st != "open" {
+		t.Fatalf("state after threshold = %s, want open", st)
+	}
+	if ok, _ := n.available(); ok {
+		t.Fatal("open breaker must not be available")
+	}
+
+	// a probe success cracks the breaker half-open
+	if !n.noteSuccess(recoverAt) {
+		t.Fatal("first success after open must report a state change")
+	}
+	if st := n.health().State; st != "half-open" {
+		t.Fatalf("state after success = %s, want half-open", st)
+	}
+	// one more success (recoverAt=2, first one counted) closes it
+	if !n.noteSuccess(recoverAt) {
+		t.Fatal("recovery success must report a state change")
+	}
+	if st := n.health().State; st != "closed" {
+		t.Fatalf("state after recovery = %s, want closed", st)
+	}
+}
+
+// TestHalfOpenTrialSlot pins the single-trial discipline: while one
+// trial request is in flight, a half-open node refuses more work, and
+// a failed trial reopens the breaker.
+func TestHalfOpenTrialSlot(t *testing.T) {
+	n := newNode("x:1")
+	for i := 0; i < 3; i++ {
+		n.noteFailure(3, "down")
+	}
+	n.noteSuccess(5) // open -> half-open (recover threshold not met)
+
+	ok, trial := n.available()
+	if !ok || !trial {
+		t.Fatalf("half-open available() = (%v,%v), want (true,true)", ok, trial)
+	}
+	if ok, _ := n.available(); ok {
+		t.Fatal("second caller must not get a trial while one is in flight")
+	}
+	n.releaseTrial()
+	if ok, _ := n.available(); !ok {
+		t.Fatal("trial slot must free up after releaseTrial")
+	}
+
+	// a failure in half-open slams the breaker shut again
+	if !n.noteFailure(3, "still down") {
+		t.Fatal("half-open failure must report a state change")
+	}
+	if st := n.health().State; st != "open" {
+		t.Fatalf("state after half-open failure = %s, want open", st)
+	}
+}
+
+// TestPoliteDeclineDoesNotTripBreaker pins the draining/warming
+// contract: a polite 503 removes the node from rotation, resets the
+// failure streak, and leaves the breaker closed for an instant return.
+func TestPoliteDeclineDoesNotTripBreaker(t *testing.T) {
+	n := newNode("x:1")
+	n.noteFailure(3, "blip")
+	n.noteFailure(3, "blip")
+
+	n.notePolite("draining")
+	if ok, _ := n.available(); ok {
+		t.Fatal("polite node must not take new work")
+	}
+	h := n.health()
+	if h.State != "closed" || h.Reason != "draining" || h.ConsecFails != 0 {
+		t.Fatalf("polite health = %+v, want closed/draining with failure streak reset", h)
+	}
+
+	n.clearPolite()
+	if ok, _ := n.available(); !ok {
+		t.Fatal("node must rejoin rotation the moment the polite episode ends")
+	}
+	// the two earlier blips were cleared: two more must not open
+	n.noteFailure(3, "blip")
+	n.noteFailure(3, "blip")
+	if st := n.health().State; st != "closed" {
+		t.Fatalf("state = %s, want closed (polite reset the streak)", st)
+	}
+}
+
+func TestStateGaugeEncoding(t *testing.T) {
+	n := newNode("x:1")
+	if g := n.stateGauge(); g != 2 {
+		t.Fatalf("closed gauge = %v, want 2", g)
+	}
+	n.notePolite("warming")
+	if g := n.stateGauge(); g != 1.5 {
+		t.Fatalf("closed+polite gauge = %v, want 1.5", g)
+	}
+	n.clearPolite()
+	for i := 0; i < 3; i++ {
+		n.noteFailure(3, "down")
+	}
+	if g := n.stateGauge(); g != 0 {
+		t.Fatalf("open gauge = %v, want 0", g)
+	}
+	n.noteSuccess(5)
+	if g := n.stateGauge(); g != 1 {
+		t.Fatalf("half-open gauge = %v, want 1", g)
+	}
+}

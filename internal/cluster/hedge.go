@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is how many successful attempt latencies the rolling p99
+// remembers. Small enough that the hedge delay tracks regime changes
+// (a node going slow) within a few hundred requests, large enough that
+// one outlier cannot move the tail estimate.
+const latWindow = 512
+
+// minHedgeSamples is how many observations the tracker wants before it
+// trusts its p99; below it the configured floor is used, so a cold
+// router never hedges on noise.
+const minHedgeSamples = 20
+
+// latTracker keeps a rolling window of successful attempt latencies
+// and answers "what delay says the primary is probably in trouble" —
+// the hedged-request trigger. Hedging after the rolling p99 means at
+// most ~1% of requests pay the second copy, the classic tail-latency
+// bound.
+type latTracker struct {
+	mu   sync.Mutex // guards ring, next, n
+	ring [latWindow]time.Duration
+	next int
+	n    int
+}
+
+func (l *latTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.next] = d
+	l.next = (l.next + 1) % latWindow
+	if l.n < latWindow {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// p99 returns the rolling 99th percentile and whether enough samples
+// back it.
+func (l *latTracker) p99() (time.Duration, bool) {
+	l.mu.Lock()
+	n := l.n
+	buf := make([]time.Duration, n)
+	copy(buf, l.ring[:n])
+	l.mu.Unlock()
+	if n < minHedgeSamples {
+		return 0, false
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(n-1)*99/100], true
+}
+
+// hedgeDelay is the current trigger: the rolling p99 clamped to
+// [min, max], or min while the window is still cold.
+func (l *latTracker) hedgeDelay(min, max time.Duration) time.Duration {
+	d, ok := l.p99()
+	if !ok || d < min {
+		return min
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// backoffDelay is the wait before failing over to the next replica
+// after attempt i (0-based) failed: base·2^i saturating at max —
+// mirroring netsim's overflow-guarded shift (clamp as soon as another
+// doubling could exceed the cap) — plus jitter drawn uniformly from
+// [0, delay/2] so synchronized routers spread their retries.
+func backoffDelay(base, max time.Duration, attempt int, rng *lockedRand) time.Duration {
+	b := base
+	for i := 0; i < attempt; i++ {
+		if b > max>>1 {
+			b = max
+			break
+		}
+		b <<= 1
+	}
+	if b > max {
+		b = max
+	}
+	return b + time.Duration(rng.Int63n(int64(b)/2+1))
+}
+
+// lockedRand is a mutex-guarded rand.Rand: the router draws jitter
+// from concurrent request goroutines, and rand.Rand is not safe for
+// concurrent use.
+type lockedRand struct {
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *lockedRand) Int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Int63n(n)
+}

@@ -154,6 +154,37 @@ const (
 	// MetricObsCounter is the catch-all family for declared obs
 	// counters with no dedicated metric mapping, labeled by (name).
 	MetricObsCounter = "gnt_obs_counter_total"
+
+	// Cluster router (internal/cluster). The router fronts N serve
+	// nodes; its families account for every forwarded attempt, every
+	// failover down a key's replica set, and every hedged request, so
+	// the failover soak's availability claim is checkable from /metrics
+	// alone.
+
+	// MetricRouteRequests counts routed requests by (route, status);
+	// MetricRouteDuration is the end-to-end router latency histogram by
+	// the same labels.
+	MetricRouteRequests = "gnt_route_requests_total"
+	MetricRouteDuration = "gnt_route_request_duration_seconds"
+	// MetricRouteAttempts counts individual forwarded attempts by
+	// (node, outcome: ok|shed|connect|timeout|status-5xx).
+	MetricRouteAttempts = "gnt_route_attempts_total"
+	// MetricRouteFailovers counts descents down a replica set by
+	// (reason: connect|timeout|status-5xx|shed).
+	MetricRouteFailovers = "gnt_route_failovers_total"
+	// MetricRouteHedges counts hedged second requests by
+	// (outcome: launched|won|lost).
+	MetricRouteHedges = "gnt_route_hedges_total"
+	// MetricRouteProbes counts health-probe outcomes by
+	// (node, result: ok|fail|draining|warming).
+	MetricRouteProbes = "gnt_route_probes_total"
+	// MetricRouteNodeState gauges each node's breaker state by (node):
+	// 0 open, 1 half-open, 2 closed; minus 0.5 while the node reports
+	// draining or warming (politely unavailable).
+	MetricRouteNodeState = "gnt_route_node_state"
+	// MetricRouteHedgeDelay gauges the current hedge trigger delay in
+	// seconds (rolling p99 of successful attempts, clamped).
+	MetricRouteHedgeDelay = "gnt_route_hedge_delay_seconds"
 )
 
 // Spans returns the declared exact span names.
@@ -195,6 +226,9 @@ func Metrics() []string {
 		MetricJournalReplayed, MetricJournalCorrupt, MetricJournalTornTails,
 		MetricJournalPending,
 		MetricObsCounter,
+		MetricRouteRequests, MetricRouteDuration, MetricRouteAttempts,
+		MetricRouteFailovers, MetricRouteHedges, MetricRouteProbes,
+		MetricRouteNodeState, MetricRouteHedgeDelay,
 	}
 }
 

@@ -239,8 +239,8 @@ func TestRetryAfterSeconds(t *testing.T) {
 		{1500 * time.Millisecond, 2},
 		{2 * time.Second, 2},
 	} {
-		if got := retryAfterSeconds(tc.d); got != tc.want {
-			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		if got := RetryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
 		}
 	}
 }

@@ -51,6 +51,7 @@ const (
 	DefaultMaxSteps       = 2_000_000
 	DefaultMaxSourceBytes = 1 << 20
 	DefaultMaxBatch       = 64
+	DefaultDrainGrace     = 250 * time.Millisecond
 )
 
 // Config parameterizes a Server.
@@ -113,6 +114,14 @@ type Config struct {
 	// (ListenAndServe starts it alongside the service listener). Kept
 	// off the service mux so profiling exposure is a bind decision.
 	PprofAddr string
+
+	// DrainGrace is how long a context-canceled ListenAndServe keeps
+	// the listener open after flipping /readyz to draining: routers and
+	// load balancers polling readiness stop sending new work before the
+	// port actually closes, so a rolling restart never bounces a request
+	// off a closed socket. Zero means DefaultDrainGrace; negative
+	// disables the grace window (tests).
+	DrainGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +143,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = DefaultMaxBatch
 	}
+	if c.DrainGrace == 0 {
+		c.DrainGrace = DefaultDrainGrace
+	}
 	return c
 }
 
@@ -151,6 +163,7 @@ type Server struct {
 	mux      *http.ServeMux
 
 	ready     atomic.Bool // journal replay complete (or no journal)
+	draining  atomic.Bool // shutdown begun: finish in-flight, take no new work
 	replayMu  sync.Mutex
 	replay    journal.ReplayStats
 	replayErr error
@@ -258,6 +271,17 @@ func (s *Server) Journal() *journal.Journal { return s.journal }
 // without a journal).
 func (s *Server) Ready() bool { return s.ready.Load() }
 
+// BeginDrain flips the server into draining: /readyz answers 503 with
+// reason "draining" from this moment on, so routers stop sending new
+// work, while everything already in flight (and anything that still
+// arrives before the listener closes) is served normally. Idempotent;
+// ListenAndServe calls it on context cancellation, before the listener
+// closes.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Handler returns the service's HTTP handler: the instrumentation
 // middleware outside the outermost panic boundary, so even a request
 // that panics its way to a structured 500 is counted, timed, and
@@ -318,6 +342,20 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Drain protocol: advertise the shutdown on /readyz first, keep
+		// the listener serving for the grace window so routers that poll
+		// readiness stop routing before the port closes, then let
+		// Shutdown finish whatever is still in flight.
+		s.BeginDrain()
+		if g := s.cfg.DrainGrace; g > 0 {
+			gt := time.NewTimer(g)
+			select {
+			case err := <-errc:
+				gt.Stop()
+				return err
+			case <-gt.C:
+			}
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		serr := hs.Shutdown(sctx)
@@ -387,20 +425,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Drain/warm-up reasons reported by /readyz alongside its 503.
+const (
+	// ReasonWarming: startup journal replay has not finished yet.
+	ReasonWarming = "warming"
+	// ReasonDraining: shutdown has begun; in-flight work completes but
+	// no new work should be routed here.
+	ReasonDraining = "draining"
+)
+
 // Readiness is the readyz payload.
 type Readiness struct {
 	Ready bool `json:"ready"`
+	// Reason explains a 503: "warming" (journal replay in progress) or
+	// "draining" (shutdown begun; in-flight requests still complete).
+	Reason string `json:"reason,omitempty"`
 	// Replayed is the records warmed into the cache (0 until ready).
 	Replayed int64 `json:"replayed"`
 }
 
-// handleReadyz gates traffic on startup replay: 503 while the journal
-// is still warming the cache, 200 after (immediately, without a
-// journal). Load balancers poll this; /healthz stays 200 throughout
-// because the process is alive either way.
+// handleReadyz gates traffic on lifecycle state: 503 "warming" while
+// the journal is still filling the cache, 503 "draining" as soon as
+// shutdown begins — before the listener closes, so routers polling
+// readiness stop sending first — and 200 in between. Load balancers
+// poll this; /healthz stays 200 throughout because the process is
+// alive either way.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, Readiness{Reason: ReasonDraining})
+		return
+	}
 	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, Readiness{})
+		writeJSON(w, http.StatusServiceUnavailable, Readiness{Reason: ReasonWarming})
 		return
 	}
 	s.replayMu.Lock()
@@ -465,7 +521,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 		// Retry-After tells well-behaved clients to back off for about
 		// one queue-timeout window — retrying sooner would just re-queue
 		// into the same congestion and shed again.
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.QueueTimeout)))
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(s.cfg.QueueTimeout)))
 		pool := s.engine.Stats().Pool
 		writeJSON(w, http.StatusTooManyRequests, &Response{
 			Error: "server at capacity; retry later", Code: "overloaded",
@@ -481,9 +537,11 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 	}
 }
 
-// retryAfterSeconds rounds the queue timeout up to whole seconds,
-// floored at 1 (Retry-After: 0 invites an immediate retry storm).
-func retryAfterSeconds(d time.Duration) int {
+// RetryAfterSeconds rounds a backoff window up to whole seconds,
+// floored at 1 (Retry-After: 0 invites an immediate retry storm). The
+// cluster router reuses it so its all-replicas-down 503s carry the
+// same semantics as the server's own overload 429s.
+func RetryAfterSeconds(d time.Duration) int {
 	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -522,10 +580,14 @@ func cacheable(resp *Response) bool {
 	return true
 }
 
-// cacheKey derives the content address of one request: everything that
-// can change the rendered bytes — source, execution parameters, and the
-// client timeout (it clamps the deadline, which shapes degradation).
-func (s *Server) cacheKey(req *Request) string {
+// CacheKeyFor derives the content address of one request: everything
+// that can change the rendered bytes — source, execution parameters,
+// and the client timeout (it clamps the deadline, which shapes
+// degradation). Exported because the cluster router rendezvous-hashes
+// on exactly this key: routing and caching must agree on identity, or
+// scale-out would scatter a key's requests across nodes and destroy
+// the hit rate.
+func CacheKeyFor(req *Request) string {
 	return engine.CacheKey(req.Source, comm.Opts{},
 		fmt.Sprintf("execute=%t", req.Execute),
 		fmt.Sprintf("n=%d", req.N),
@@ -552,7 +614,7 @@ func (s *Server) analyzeCached(ctx context.Context, req *Request) (engine.Cached
 		c, _, err := compute(ctx)
 		return c, engine.CacheBypass, err
 	}
-	return s.engine.Do(ctx, s.cacheKey(req), compute)
+	return s.engine.Do(ctx, CacheKeyFor(req), compute)
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {

@@ -56,9 +56,9 @@ func (s *Server) registerGauges() {
 		"Requests currently holding an analysis slot.",
 		func() float64 { return float64(s.inFlight.Load()) })
 	reg.GaugeFunc(obs.MetricReady,
-		"Startup replay readiness (0 warming, 1 ready).",
+		"Readiness to take new work (0 warming or draining, 1 ready).",
 		func() float64 {
-			if s.ready.Load() {
+			if s.ready.Load() && !s.draining.Load() {
 				return 1
 			}
 			return 0

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end failover check for gnt -mode route.
+#
+# Boots three serve nodes and a router with replica factor 2, verifies
+# the routed answers are byte-identical to a single node's, then drives
+# open-loop load through the router while one node dies with SIGKILL
+# mid-run. Asserts the run finishes with zero 5xx (the breaker plus
+# replica failover absorb the loss), that the router actually failed
+# over (failovers metric > 0), and that answers are still byte-identical
+# to the single-node reference afterward.
+#
+# Usage: scripts/cluster_smoke.sh [baseport]
+set -euo pipefail
+
+BASE="${1:-8180}"
+N1="127.0.0.1:$((BASE + 1))"
+N2="127.0.0.1:$((BASE + 2))"
+N3="127.0.0.1:$((BASE + 3))"
+ROUTER="127.0.0.1:${BASE}"
+RURL="http://${ROUTER}"
+WORK="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+say() { echo "cluster_smoke: $*"; }
+
+go build -o "${WORK}/gnt" ./cmd/gnt
+go build -o "${WORK}/gntload" ./cmd/gntload
+say "built gnt and gntload"
+
+start_node() { # $1 addr, $2 log
+  "${WORK}/gnt" -mode serve -addr "$1" 2>>"${WORK}/$2" &
+  PIDS+=($!)
+}
+
+wait_ready() { # $1 url
+  for _ in $(seq 1 200); do
+    if curl -sf "$1/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  say "$1 never became ready"
+  cat "${WORK}"/*.log || true
+  exit 1
+}
+
+start_node "${N1}" node1.log
+start_node "${N2}" node2.log
+start_node "${N3}" node3.log
+NODE1_PID="${PIDS[0]}"
+wait_ready "http://${N1}"
+wait_ready "http://${N2}"
+wait_ready "http://${N3}"
+say "3 nodes up"
+
+"${WORK}/gnt" -mode route -addr "${ROUTER}" -nodes "${N1},${N2},${N3}" \
+  -replicas 2 -probe-ms 100 2>>"${WORK}/route.log" &
+PIDS+=($!)
+wait_ready "${RURL}"
+say "router up on ${ROUTER}"
+
+# phase 1: routed answers must match a single node byte-for-byte
+"${WORK}/gntload" -url "${RURL}" -verify-against "http://${N1}" \
+  -rate 50 -duration 1s -keys 24 >"${WORK}/pre.json"
+say "pre-kill: routed answers identical to single-node serve"
+
+# phase 2: load with a mid-run SIGKILL of node 1. The router probes at
+# 100ms with a failure threshold of 3, so the breaker opens ~300ms
+# after the kill; replica factor 2 means every key on node 1 has a
+# warm-path fallback. Open-loop load keeps arriving the whole time.
+(
+  sleep 2
+  say "killing node 1 (pid ${NODE1_PID}) with SIGKILL"
+  kill -9 "${NODE1_PID}" 2>/dev/null || true
+) &
+KILLER=$!
+
+"${WORK}/gntload" -url "${RURL}" -rate 80 -duration 6s -keys 24 \
+  -assert-no-5xx >"${WORK}/load.json" \
+  || { say "load saw 5xx during failover"; cat "${WORK}/load.json"; exit 1; }
+wait "${KILLER}"
+say "survived SIGKILL mid-run with zero 5xx"
+
+# the router must have actually routed around the dead node
+failovers=$(curl -s "${RURL}/metrics" | sed -n 's/^gnt_route_failovers_total{[^}]*} \([0-9.]*\)$/\1/p' \
+  | awk '{s += $1} END {printf "%d", s}')
+say "router recorded ${failovers} failovers"
+[ "${failovers:-0}" -ge 1 ] || { say "no failovers recorded; did the kill land?"; exit 1; }
+
+# phase 3: with one node gone, answers must still match the reference
+"${WORK}/gntload" -url "${RURL}" -verify-against "http://${N2}" \
+  -rate 50 -duration 1s -keys 24 >"${WORK}/post.json"
+say "post-kill: routed answers still identical to single-node serve"
+
+say "OK"

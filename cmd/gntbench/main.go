@@ -63,7 +63,11 @@ import (
 // strictly parsed throughout, and the artifact records the final gauge
 // snapshot plus per-stage latency histogram summaries, present when
 // -parallel is given.
-const Schema = "gnt-bench/v6"
+// v7 added the pipeline block: the corpus streams through the engine's
+// stage pipeline as one barrier-free batch, and the artifact records
+// per-stage throughput plus the ratio of achieved corpus throughput to
+// the slowest stage's service rate, present when -parallel is given.
+const Schema = "gnt-bench/v7"
 
 // DefaultTimeout is the per-program wall-clock budget.
 const DefaultTimeout = 30 * time.Second
@@ -86,6 +90,26 @@ type artifact struct {
 	// snapshots and per-stage latency summaries from the same metrics
 	// registry gnt -mode serve exposes at /metrics.
 	Obs *obsBench `json:"obs,omitempty"`
+	// Pipeline is the stage-pipeline sweep: the corpus as one
+	// barrier-free batch, measured against the slowest stage's service
+	// rate.
+	Pipeline *pipelineBench `json:"pipeline,omitempty"`
+}
+
+// pipelineBench is the stage-pipeline block of the artifact. The sweep
+// streams Items programs through AnalyzeBatch; IdealWallMS is the
+// bottleneck bound — the largest per-stage busy-time-per-worker, i.e.
+// how long the slowest stage alone needs to service the batch — and
+// Ratio is IdealWallMS over the measured wall: 1.0 means throughput
+// exactly tracks the slowest stage's service rate, lower means barrier
+// or handoff overhead the pipeline design is supposed to avoid.
+type pipelineBench struct {
+	Items       int                 `json:"items"`
+	WallMS      float64             `json:"wall_ms"`
+	IdealWallMS float64             `json:"ideal_wall_ms"`
+	Ratio       float64             `json:"ratio"`
+	Shed        int64               `json:"shed"`
+	Stages      []engine.StageStats `json:"stages"`
 }
 
 // obsBench is the telemetry block of the artifact. The parallel
@@ -151,18 +175,19 @@ func main() {
 	timeout := flag.Duration("timeout", DefaultTimeout, "per-program wall-clock budget")
 	parallel := flag.Int("parallel", 0, "also sweep the corpus through the engine on N workers (0 = serial only)")
 	assertSpeedup := flag.Float64("assert-speedup", 0, "fail unless serial/parallel wall time >= this (0 = no assertion)")
+	assertPipeline := flag.Float64("assert-pipeline", 0, "fail unless pipeline throughput / slowest-stage service rate >= this (0 = no assertion)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "gntbench: no corpus directories given")
 		os.Exit(2)
 	}
-	if err := run(flag.Args(), *out, *timeout, *parallel, *assertSpeedup); err != nil {
+	if err := run(flag.Args(), *out, *timeout, *parallel, *assertSpeedup, *assertPipeline); err != nil {
 		fmt.Fprintln(os.Stderr, "gntbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dirs []string, out string, timeout time.Duration, parallel int, assertSpeedup float64) error {
+func run(dirs []string, out string, timeout time.Duration, parallel int, assertSpeedup, assertPipeline float64) error {
 	files, err := collect(dirs)
 	if err != nil {
 		return err
@@ -204,6 +229,15 @@ func run(dirs []string, out string, timeout time.Duration, parallel int, assertS
 			return err
 		}
 		art.Journal = jb
+		pb, err := benchPipeline(files, parallel, timeout)
+		if err != nil {
+			return err
+		}
+		art.Pipeline = pb
+		if assertPipeline > 0 && pb.Ratio < assertPipeline {
+			return fmt.Errorf("pipeline sweep off the bottleneck bound: ratio %.2f < required %.2f (wall %.1fms, ideal %.1fms)",
+				pb.Ratio, assertPipeline, pb.WallMS, pb.IdealWallMS)
+		}
 	}
 	b, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -596,4 +630,146 @@ func benchJournal(files []string, workers int, timeout time.Duration) (*journalB
 		jb.RestartSpeedup = float64(coldWall) / float64(warmWall)
 	}
 	return jb, nil
+}
+
+// registerPipelineGauges installs the same scrape-time pipeline gauges
+// gnt -mode serve exposes, reading the engine's live per-stage stats.
+func registerPipelineGauges(reg *telemetry.Registry, e *engine.Engine) {
+	sample := func(field func(engine.StageStats) float64) func() []telemetry.GaugeSample {
+		return func() []telemetry.GaugeSample {
+			stats := e.PipelineStats()
+			out := make([]telemetry.GaugeSample, 0, len(stats))
+			for _, st := range stats {
+				out = append(out, telemetry.GaugeSample{
+					LabelVals: []string{st.Stage},
+					Value:     field(st),
+				})
+			}
+			return out
+		}
+	}
+	reg.GaugeSeriesFunc(obs.MetricPipelineQueueDepth,
+		"Tasks waiting in each pipeline stage's bounded input queue.",
+		[]string{"stage"}, sample(func(st engine.StageStats) float64 { return float64(st.QueueDepth) }))
+	reg.GaugeSeriesFunc(obs.MetricPipelineOccupancy,
+		"Pipeline stage workers executing a task right now.",
+		[]string{"stage"}, sample(func(st engine.StageStats) float64 { return float64(st.Busy) }))
+	reg.GaugeSeriesFunc(obs.MetricPipelineWorkers,
+		"Configured worker count of each pipeline stage.",
+		[]string{"stage"}, sample(func(st engine.StageStats) float64 { return float64(st.Workers) }))
+}
+
+// benchPipeline streams the corpus (repeated to amortize pipeline
+// ramp-up) through the engine's stage pipeline as one barrier-free
+// batch and measures corpus throughput against the slowest stage's
+// service rate. The telemetry bridge and the pipeline gauges are
+// attached and strictly scraped throughout, and the sweep fails if any
+// gnt_pipeline_* family is missing from the final exposition or the
+// per-stage item counters disagree with the batch size.
+func benchPipeline(files []string, workers int, timeout time.Duration) (*pipelineBench, error) {
+	sources, err := readSources(files)
+	if err != nil {
+		return nil, err
+	}
+	rounds := 216 / len(files)
+	if rounds < 1 {
+		rounds = 1
+	}
+	items := make([]engine.BatchItem, 0, rounds*len(files))
+	for r := 0; r < rounds; r++ {
+		for _, src := range sources {
+			items = append(items, engine.BatchItem{Source: src})
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	bridge := telemetry.NewBridge(reg)
+	e := engine.New(engine.Config{Workers: workers, Collector: bridge})
+	defer e.Close()
+	registerPipelineGauges(reg, e)
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout*time.Duration(len(files)))
+	defer cancel()
+
+	stop := make(chan struct{})
+	type scraperReport struct {
+		scrapes int
+		err     error
+	}
+	scraperDone := make(chan scraperReport, 1)
+	go func() {
+		rep := scraperReport{}
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			if _, err := scrapeRegistry(reg); err != nil {
+				rep.err = err
+				scraperDone <- rep
+				return
+			}
+			rep.scrapes++
+			select {
+			case <-stop:
+				scraperDone <- rep
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+
+	start := time.Now()
+	out := e.AnalyzeBatch(ctx, items, bridge)
+	wall := time.Since(start)
+	close(stop)
+	for i, r := range out {
+		if r.Err != nil {
+			return nil, fmt.Errorf("pipeline sweep item %d (%s): %w", i, files[i%len(files)], r.Err)
+		}
+		if !r.Res.Check.Ok() {
+			r.Res.Release()
+			return nil, fmt.Errorf("pipeline sweep item %d (%s): verification failed", i, files[i%len(files)])
+		}
+		r.Res.Release()
+	}
+	srep := <-scraperDone
+	if srep.err != nil {
+		return nil, fmt.Errorf("mid-sweep telemetry scrape: %w", srep.err)
+	}
+	fams, err := scrapeRegistry(reg)
+	if err != nil {
+		return nil, fmt.Errorf("final telemetry scrape: %w", err)
+	}
+	for _, name := range []string{
+		obs.MetricPipelineItems, obs.MetricPipelineShed,
+		obs.MetricPipelineQueueDepth, obs.MetricPipelineOccupancy,
+		obs.MetricPipelineWorkers,
+	} {
+		if fams[name] == nil {
+			return nil, fmt.Errorf("pipeline family %s missing from exposition", name)
+		}
+	}
+
+	stages := e.PipelineStats()
+	if got, want := fams.Sum(obs.MetricPipelineItems, nil), float64(len(items)*len(stages)); got != want {
+		return nil, fmt.Errorf("%s sums to %v, want %v (items x stages)",
+			obs.MetricPipelineItems, got, want)
+	}
+	pb := &pipelineBench{
+		Items:  len(items),
+		WallMS: float64(wall.Microseconds()) / 1000,
+		Shed:   e.PipelineShed(),
+		Stages: stages,
+	}
+	for _, st := range stages {
+		if st.Items != int64(len(items)) {
+			return nil, fmt.Errorf("stage %s serviced %d items, want %d", st.Stage, st.Items, len(items))
+		}
+		if per := st.BusyMS / float64(st.Workers); per > pb.IdealWallMS {
+			pb.IdealWallMS = per
+		}
+	}
+	if pb.WallMS > 0 {
+		pb.Ratio = pb.IdealWallMS / pb.WallMS
+	}
+	return pb, nil
 }

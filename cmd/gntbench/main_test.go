@@ -12,7 +12,7 @@ import (
 
 func TestBenchArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 0, 0); err != nil {
+	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -79,7 +79,7 @@ func TestBenchArtifact(t *testing.T) {
 // cache counters proving the warm pass was served entirely from cache.
 func TestBenchParallelSweep(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 4, 0); err != nil {
+	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 4, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -103,14 +103,27 @@ func TestBenchParallelSweep(t *testing.T) {
 	if got := art.Cache.HitRate(); got != 0.5 {
 		t.Fatalf("hit rate = %v, want 0.5 after one cold and one warm sweep", got)
 	}
+	if art.Pipeline == nil {
+		t.Fatal("parallel run must emit the pipeline section")
+	}
+	if art.Pipeline.Items < len(art.Corpus) || art.Pipeline.WallMS <= 0 ||
+		art.Pipeline.IdealWallMS <= 0 || art.Pipeline.Ratio <= 0 || art.Pipeline.Ratio > 1.001 {
+		t.Fatalf("pipeline block incomplete: %+v", art.Pipeline)
+	}
+	if len(art.Pipeline.Stages) != 7 {
+		t.Fatalf("pipeline block has %d stages, want 7", len(art.Pipeline.Stages))
+	}
 	// an impossible bar must fail the run
-	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 4, 1e9); err == nil {
+	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 4, 1e9, 0); err == nil {
 		t.Fatal("-assert-speedup 1e9 should fail")
+	}
+	if err := run([]string{"../../testdata"}, out, DefaultTimeout, 4, 0, 1.01); err == nil {
+		t.Fatal("-assert-pipeline above 1 should fail")
 	}
 }
 
 func TestBenchNoCorpus(t *testing.T) {
-	if err := run([]string{t.TempDir()}, filepath.Join(t.TempDir(), "x.json"), DefaultTimeout, 0, 0); err == nil {
+	if err := run([]string{t.TempDir()}, filepath.Join(t.TempDir(), "x.json"), DefaultTimeout, 0, 0, 0); err == nil {
 		t.Fatal("empty corpus should error")
 	}
 }
@@ -126,7 +139,7 @@ func TestBenchTimeoutRecorded(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "bench.json")
-	err := run([]string{dir}, out, 1, 0, 0)
+	err := run([]string{dir}, out, 1, 0, 0, 0)
 	if err == nil {
 		t.Fatal("timed-out corpus should make run return an error")
 	}

@@ -555,7 +555,7 @@ func (r *Router) forward(ctx context.Context, route string, body []byte, set []*
 
 	var hedgeC <-chan time.Time
 	if !r.cfg.DisableHedge {
-		ht := time.NewTimer(r.lat.hedgeDelay(r.cfg.HedgeMin, r.cfg.HedgeMax))
+		ht := time.NewTimer(r.nextHedgeDelay())
 		defer ht.Stop()
 		hedgeC = ht.C
 	}

@@ -68,6 +68,18 @@ func (l *latTracker) hedgeDelay(min, max time.Duration) time.Duration {
 	return d
 }
 
+// nextHedgeDelay is the delay before this request arms its hedge: the
+// adaptive base from the latency tracker plus jitter drawn uniformly
+// from [0, base/4] so a burst of simultaneous requests does not fire
+// all of its hedges in the same instant. The jitter comes from the
+// router's seeded lockedRand, so two routers built with the same
+// Config.Seed produce identical delay sequences — reproducibility the
+// simulation harness and the determinism tests both rely on.
+func (r *Router) nextHedgeDelay() time.Duration {
+	base := r.lat.hedgeDelay(r.cfg.HedgeMin, r.cfg.HedgeMax)
+	return base + time.Duration(r.rng.Int63n(int64(base)/4+1))
+}
+
 // backoffDelay is the wait before failing over to the next replica
 // after attempt i (0-based) failed: base·2^i saturating at max —
 // mirroring netsim's overflow-guarded shift (clamp as soon as another

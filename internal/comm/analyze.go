@@ -93,8 +93,31 @@ func AnalyzeCtx(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Ana
 // build runs the solver-free front half of the pipeline: CFG, interval
 // reduction, section universe, event collection, and the READ/WRITE
 // initial variables. Both the full analysis and the atomic fallback
-// start from exactly this state.
+// start from exactly this state. The three stages are exported
+// individually (StageCFG, StageIntervals, StageUniverse) so a stage
+// scheduler can run each program's front half as separate tasks;
+// build is their sequential composition.
 func build(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
+	a, err := StageCFG(ctx, prog, ocol)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.StageIntervals(ctx, ocol); err != nil {
+		return nil, err
+	}
+	if err := a.StageUniverse(ctx, ocol); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// StageCFG is the first pipeline stage: control-flow-graph
+// construction. It returns a partial Analysis holding only the program
+// and its CFG; StageIntervals and StageUniverse fill in the rest.
+func StageCFG(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	end := obs.Begin(ocol, obs.SpanCFGBuild)
 	c, err := cfg.Build(prog)
 	if err != nil {
@@ -102,32 +125,43 @@ func build(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis
 		return nil, err
 	}
 	end("blocks", len(c.Blocks))
+	return &Analysis{Prog: prog, CFG: c}, nil
+}
+
+// StageIntervals is the second pipeline stage: the interval
+// (loop-forest) reduction of the CFG built by StageCFG.
+func (a *Analysis) StageIntervals(ctx context.Context, ocol obs.Collector) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	end = obs.Begin(ocol, obs.SpanIntervalReduce)
-	g, err := interval.FromCFG(c)
+	end := obs.Begin(ocol, obs.SpanIntervalReduce)
+	g, err := interval.FromCFG(a.CFG)
 	if err != nil {
 		end()
-		return nil, err
+		return err
 	}
+	a.Graph = g
 	maxLevel, _ := g.LevelStats()
 	end("nodes", len(g.Nodes), "max-level", maxLevel)
+	return nil
+}
+
+// StageUniverse is the third pipeline stage: section-universe
+// collection, event classification, and the READ/WRITE initial
+// variables. After it returns the Analysis is ready for ApplyOpts and
+// the two solves.
+func (a *Analysis) StageUniverse(ctx context.Context, ocol obs.Collector) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	a := &Analysis{
-		Prog:     prog,
-		CFG:      c,
-		Graph:    g,
-		Universe: sections.NewUniverse(),
-	}
-	end = obs.Begin(ocol, obs.SpanSectionUniverse)
+	prog, g := a.Prog, a.Graph
+	a.Universe = sections.NewUniverse()
+	end := obs.Begin(ocol, obs.SpanSectionUniverse)
 	col := &collector{a: a, env: vn.NewEnv(a.Universe.Tab), ranges: map[string]sections.LoopRange{}}
 	col.walk(prog.Body)
 	if col.err != nil {
 		end()
-		return nil, col.err
+		return col.err
 	}
 
 	a.Reduce = col.classifyReductions()
@@ -186,7 +220,7 @@ func build(ctx context.Context, prog *ir.Program, ocol obs.Collector) (*Analysis
 	}
 
 	end("items", u, "events", len(col.events), "reductions", len(a.Reduce))
-	return a, nil
+	return nil
 }
 
 // AnalyzeOpts is AnalyzeCtx with analysis options. It is the full entry
@@ -217,6 +251,14 @@ func Build(ctx context.Context, prog *ir.Program, ocol obs.Collector, opt Opts) 
 	if err != nil {
 		return nil, err
 	}
+	a.ApplyOpts(opt)
+	return a, nil
+}
+
+// ApplyOpts applies the analysis options to a built Analysis, after
+// StageUniverse and before the solves: SuppressHoist marks every
+// non-root loop header NoHoist (the degradation ladder's rung 2).
+func (a *Analysis) ApplyOpts(opt Opts) {
 	if opt.SuppressHoist {
 		for _, n := range a.Graph.Nodes {
 			if n.IsHeader && n != a.Graph.Root {
@@ -224,7 +266,6 @@ func Build(ctx context.Context, prog *ir.Program, ocol obs.Collector, opt Opts) 
 			}
 		}
 	}
-	return a, nil
 }
 
 // SolveRead solves the READ/BEFORE placement problem on the forward

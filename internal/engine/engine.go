@@ -38,7 +38,6 @@ import (
 	"givetake/internal/bitset"
 	"givetake/internal/check"
 	"givetake/internal/comm"
-	"givetake/internal/frontend"
 	"givetake/internal/ir"
 	"givetake/internal/journal"
 	"givetake/internal/obs"
@@ -53,6 +52,13 @@ type Config struct {
 	// Workers is the size of the leaf-task pool and the fan-out bound
 	// of Map/AnalyzeBatch; zero means GOMAXPROCS.
 	Workers int
+	// StageWorkers sets the per-stage worker counts of the stage
+	// pipeline (pipeline.go); zero fields default to a split of
+	// Workers.
+	StageWorkers StageWorkers
+	// StageQueue bounds each inter-stage queue of the pipeline; zero
+	// means max(4, 2*Workers).
+	StageQueue int
 	// CacheBytes bounds the result cache; zero means DefaultCacheBytes,
 	// negative disables caching (single-flight still dedups).
 	CacheBytes int64
@@ -76,6 +82,7 @@ type Engine struct {
 	tasks  chan func()
 	wg     sync.WaitGroup
 	arenas sync.Pool
+	pipe   *pipeline
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -108,15 +115,25 @@ func New(cfg Config) *Engine {
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
 	}
+	queue := cfg.StageQueue
+	if queue <= 0 {
+		queue = 2 * cfg.Workers
+		if queue < 4 {
+			queue = 4
+		}
+	}
+	e.pipe = newPipeline(e, cfg.StageWorkers.withDefaults(cfg.Workers), queue)
 	return e
 }
 
-// Close stops the workers after draining queued tasks. Only useful in
-// tests; a serving engine lives for the process.
+// Close stops the pool workers and the stage pipeline after draining
+// queued tasks. Only useful in tests; a serving engine lives for the
+// process.
 func (e *Engine) Close() {
 	if e.closed.CompareAndSwap(false, true) {
 		close(e.tasks)
 		e.wg.Wait()
+		e.pipe.close()
 	}
 }
 
@@ -140,10 +157,18 @@ type PanicError struct {
 
 func (p *PanicError) Error() string { return fmt.Sprintf("recovered panic: %v", p.Value) }
 
-// run executes fn on the pool and waits for it, capturing panics.
-func (e *Engine) run(fn func() error) error {
+// run executes fn on the pool and waits for it, capturing panics. A
+// canceled ctx sheds the task before it ever occupies a worker: an
+// already-dead caller returns immediately, and a caller that dies while
+// its task is still queued abandons the enqueue instead of burning a
+// pool slot on doomed work. Once a worker has picked the task up it
+// runs to completion (the bodies poll ctx themselves).
+func (e *Engine) run(ctx context.Context, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	done := make(chan error, 1)
-	e.tasks <- func() {
+	task := func() {
 		e.running.Add(1)
 		defer e.running.Add(-1)
 		defer func() {
@@ -157,6 +182,11 @@ func (e *Engine) run(fn func() error) error {
 		obs.Count(e.cfg.Collector, obs.CounterPoolTask, 1)
 		done <- fn()
 	}
+	select {
+	case e.tasks <- task:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	return <-done
 }
 
@@ -166,7 +196,7 @@ func (e *Engine) Busy() int64 { return e.running.Load() }
 
 // parallel runs every fn as a pool task, waits for all, and returns the
 // first error in argument order (errors never hide behind a later nil).
-func (e *Engine) parallel(fns ...func() error) error {
+func (e *Engine) parallel(ctx context.Context, fns ...func() error) error {
 	errs := make([]error, len(fns))
 	var wg sync.WaitGroup
 	wg.Add(len(fns))
@@ -174,7 +204,7 @@ func (e *Engine) parallel(fns ...func() error) error {
 		i, fn := i, fn
 		go func() {
 			defer wg.Done()
-			errs[i] = e.run(fn)
+			errs[i] = e.run(ctx, fn)
 		}()
 	}
 	wg.Wait()
@@ -231,14 +261,44 @@ func (r *Result) Release() {
 	r.arenas = nil
 }
 
-// Analyze runs one pipeline with its independent halves in parallel:
-// after the sequential front half (comm.Build), the READ solve and the
-// reversed-graph WRITE solve run as concurrent pool tasks, then the
-// static verification of each solved problem runs as concurrent pool
-// tasks, and the results merge with the linter's findings. The merged
-// Check result is ordering-identical to the sequential
+// Analyze runs one program through the analysis pipeline and returns
+// its solved placements with their merged static verification. The
+// merged Check result is ordering-identical to the sequential
 // comm.CheckPlacementCtx (check.Merge sorts).
-func (e *Engine) Analyze(ctx context.Context, job Job) (res *Result, err error) {
+//
+// Jobs normally travel the stage pipeline (pipeline.go), entering at
+// cfg-build since the program is already parsed: concurrent Analyze
+// calls overlap stage-wise, and the READ/WRITE solve halves still run
+// concurrently within the solve stage. A job with a PostSolve hook
+// takes the pool path instead (analyzePool) — the hook's contract is
+// that it runs on the calling goroutine and its panic propagates to
+// the caller, which a detached stage worker cannot honor.
+func (e *Engine) Analyze(ctx context.Context, job Job) (*Result, error) {
+	if job.PostSolve != nil {
+		return e.analyzePool(ctx, job)
+	}
+	t := &pipeTask{
+		ctx:  ctx,
+		col:  job.Collector,
+		prog: job.Prog,
+		opts: job.Opts,
+		done: make(chan struct{}),
+	}
+	t.endAnalyze = obs.Begin(job.Collector, obs.SpanEngineAnalyze)
+	if !e.pipe.submit(stageCFG, t) {
+		t.endAnalyze()
+		return nil, ctx.Err()
+	}
+	<-t.done
+	return t.res, t.err
+}
+
+// analyzePool is the worker-pool analysis path: the front half runs on
+// the calling goroutine (comm.Build), the solve halves and the
+// verifications fan out as pool tasks, and the PostSolve hook runs
+// between them on the calling goroutine. The serve ladder's chaos
+// harness depends on this shape.
+func (e *Engine) analyzePool(ctx context.Context, job Job) (res *Result, err error) {
 	col := job.Collector
 	end := obs.Begin(col, obs.SpanEngineAnalyze)
 	defer func() {
@@ -267,7 +327,7 @@ func (e *Engine) Analyze(ctx context.Context, job Job) (res *Result, err error) 
 			panic(r)
 		}
 	}()
-	if err := e.parallel(
+	if err := e.parallel(ctx,
 		func() error { return a.SolveRead(ctx, col, res.arenas[0]) },
 		func() error { return a.SolveWrite(ctx, col, res.arenas[1]) },
 	); err != nil {
@@ -289,7 +349,7 @@ func (e *Engine) Analyze(ctx context.Context, job Job) (res *Result, err error) 
 			return err
 		}
 	}
-	if err := e.parallel(fns...); err != nil {
+	if err := e.parallel(ctx, fns...); err != nil {
 		vend()
 		return res, err // the deferred cleanup releases and nils res
 	}
@@ -302,15 +362,29 @@ func (e *Engine) Analyze(ctx context.Context, job Job) (res *Result, err error) 
 }
 
 // Map runs f for every index in [0, n) with fan-out bounded by the
-// worker count. Bodies run on dedicated goroutines — not pool workers —
-// so they may themselves schedule pool tasks (Analyze) without
-// deadlocking the pool. Map returns when every body has.
-func (e *Engine) Map(ctx context.Context, n int, f func(ctx context.Context, i int)) {
+// worker count, in index-launch order. Bodies run on dedicated
+// goroutines — not pool workers — so they may themselves schedule pool
+// tasks (Analyze) without deadlocking the pool. Cancellation sheds
+// before each launch: once ctx is observed done, no further body
+// starts (not even one already holding a semaphore slot), and Map
+// returns after every launched body has finished. The return value is
+// how many bodies launched — indices [launched, n) never ran, and the
+// caller owns saying so in its per-item results (AnalyzeBatch and
+// serve's /batch record ctx.Err() in the trailing slots).
+func (e *Engine) Map(ctx context.Context, n int, f func(ctx context.Context, i int)) int {
 	sem := make(chan struct{}, e.cfg.Workers)
 	var wg sync.WaitGroup
+	launched := 0
 	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+		case sem <- struct{}{}:
+		}
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
-		sem <- struct{}{}
+		launched++
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -318,6 +392,7 @@ func (e *Engine) Map(ctx context.Context, n int, f func(ctx context.Context, i i
 		}(i)
 	}
 	wg.Wait()
+	return launched
 }
 
 // BatchItem is one program of a batch.
@@ -333,20 +408,44 @@ type BatchResult struct {
 	Err error
 }
 
-// AnalyzeBatch parses and analyzes the items concurrently (fan-out
-// bounded by the worker count) and returns outcomes in item order. Each
-// item gets the full parallel pipeline including static verification;
-// per-item failures land in their slot instead of failing the batch.
+// AnalyzeBatch streams the items through the stage pipeline and
+// returns outcomes in item order. Items enter at the parse stage and
+// flow stage-wise with no barrier — item A can be solving while item B
+// is still in cfg-build — so corpus throughput tracks the slowest
+// stage's service rate instead of the slowest item's end-to-end chain.
+// Each item still gets the full analysis including static
+// verification; per-item failures land in their slot instead of
+// failing the batch. Cancellation sheds: items not yet submitted when
+// ctx dies never enter the pipeline (no parse runs for them) and their
+// slots carry ctx.Err(); items already in flight shed at their next
+// stage boundary with the same error.
 func (e *Engine) AnalyzeBatch(ctx context.Context, items []BatchItem, col obs.Collector) []BatchResult {
 	out := make([]BatchResult, len(items))
-	e.Map(ctx, len(items), func(ctx context.Context, i int) {
-		prog, err := frontend.Parse(items[i].Source)
-		if err != nil {
-			out[i].Err = err
-			return
+	tasks := make([]*pipeTask, len(items))
+	submitted := 0
+	for i := range items {
+		t := &pipeTask{
+			ctx:  ctx,
+			col:  col,
+			src:  items[i].Source,
+			opts: items[i].Opts,
+			done: make(chan struct{}),
 		}
-		out[i].Res, out[i].Err = e.Analyze(ctx, Job{Prog: prog, Opts: items[i].Opts, Collector: col})
-	})
+		t.endAnalyze = obs.Begin(col, obs.SpanEngineAnalyze)
+		if !e.pipe.submit(stageParse, t) {
+			t.endAnalyze()
+			break
+		}
+		tasks[i] = t
+		submitted++
+	}
+	for i := 0; i < submitted; i++ {
+		<-tasks[i].done
+		out[i] = BatchResult{Res: tasks[i].res, Err: tasks[i].err}
+	}
+	for i := submitted; i < len(items); i++ {
+		out[i] = BatchResult{Err: ctx.Err()}
+	}
 	return out
 }
 
@@ -363,13 +462,19 @@ type PoolStats struct {
 
 // Stats is the engine's observable state, rendered by /healthz.
 type Stats struct {
-	Pool  PoolStats  `json:"pool"`
-	Cache CacheStats `json:"cache"`
+	Pool     PoolStats    `json:"pool"`
+	Cache    CacheStats   `json:"cache"`
+	Pipeline []StageStats `json:"pipeline"`
+	// PipelineShed counts tasks that left the stage pipeline because
+	// their context died in-flight.
+	PipelineShed int64 `json:"pipeline_shed"`
 }
 
-// Stats snapshots the pool and cache counters.
+// Stats snapshots the pool, cache, and pipeline counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
+		Pipeline:     e.PipelineStats(),
+		PipelineShed: e.pipe.shed.Load(),
 		Pool: PoolStats{
 			Workers: e.cfg.Workers,
 			Busy:    e.running.Load(),

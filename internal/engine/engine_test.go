@@ -156,7 +156,7 @@ func TestPostSolvePanicPropagates(t *testing.T) {
 func TestPoolPanicBecomesError(t *testing.T) {
 	e := New(Config{Workers: 1})
 	defer e.Close()
-	err := e.run(func() error { panic("boom") })
+	err := e.run(context.Background(), func() error { panic("boom") })
 	var pe *PanicError
 	if !errors.As(err, &pe) || pe.Value != "boom" {
 		t.Fatalf("want *PanicError(boom), got %v", err)
@@ -164,7 +164,7 @@ func TestPoolPanicBecomesError(t *testing.T) {
 	if e.Stats().Pool.Panics != 1 {
 		t.Fatalf("panic counter = %d, want 1", e.Stats().Pool.Panics)
 	}
-	if err := e.run(func() error { return nil }); err != nil {
+	if err := e.run(context.Background(), func() error { return nil }); err != nil {
 		t.Fatalf("worker died after panic: %v", err)
 	}
 }

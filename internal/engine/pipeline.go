@@ -1,0 +1,416 @@
+// Stage-pipelined batch path: each program flows through the pipeline's
+// obs-named stages (parse → cfg-build → interval-reduce →
+// section-universe → solve → check → render) as an independent task,
+// stages connected by bounded queues, each stage served by its own
+// worker count. There is NO barrier between stages — program A can be
+// in the solve stage while program B is still in cfg-build — so corpus
+// throughput is set by the slowest stage's service rate, not by the
+// slowest program's end-to-end chain. The READ and WRITE solve halves
+// stay concurrent within a program (the solve stage runs them as two
+// goroutines, exactly like the pool path did).
+//
+// Backpressure is the bounded queues themselves: a stage that cannot
+// hand its task downstream blocks on the send (or sheds, if the task's
+// own context dies while waiting). Nothing is dropped and nothing is
+// unbounded; submitters feel the bottleneck stage's rate directly.
+package engine
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"givetake/internal/bitset"
+	"givetake/internal/check"
+	"givetake/internal/comm"
+	"givetake/internal/frontend"
+	"givetake/internal/ir"
+	"givetake/internal/obs"
+)
+
+// StageWorkers fixes the worker count of each pipeline stage. Zero
+// fields default to a split of Config.Workers: the solver and checker
+// stages (the hot ones on real corpora) get the full worker count
+// each, the light front-half and render stages half each, all floored
+// at one — oversubscription is deliberate, since stage workers are
+// goroutines gated by GOMAXPROCS, and a stage blocked on backpressure
+// costs only a goroutine; starving the bottleneck stage, by contrast,
+// caps the whole pipeline's service rate.
+type StageWorkers struct {
+	Parse           int
+	CFGBuild        int
+	IntervalReduce  int
+	SectionUniverse int
+	Solve           int
+	Check           int
+	Render          int
+}
+
+func (w StageWorkers) withDefaults(workers int) StageWorkers {
+	light := workers / 2
+	if light < 1 {
+		light = 1
+	}
+	heavy := workers
+	if heavy < 1 {
+		heavy = 1
+	}
+	def := func(v, d int) int {
+		if v > 0 {
+			return v
+		}
+		return d
+	}
+	return StageWorkers{
+		Parse:           def(w.Parse, light),
+		CFGBuild:        def(w.CFGBuild, light),
+		IntervalReduce:  def(w.IntervalReduce, light),
+		SectionUniverse: def(w.SectionUniverse, light),
+		Solve:           def(w.Solve, heavy),
+		Check:           def(w.Check, heavy),
+		Render:          def(w.Render, light),
+	}
+}
+
+// Stage indices, in flow order.
+const (
+	stageParse = iota
+	stageCFG
+	stageIntervals
+	stageUniverse
+	stageSolve
+	stageCheck
+	stageRender
+	numStages
+)
+
+// pipeTask is one program traveling the pipeline. Exactly one stage
+// owns it at a time (queues hand off ownership), so its fields need no
+// locking; done is closed once — by the render stage, or early by
+// whichever stage failed or shed it.
+type pipeTask struct {
+	ctx  context.Context
+	col  obs.Collector
+	src  string      // parse-stage input (batch path)
+	prog *ir.Program // cfg-stage input (pre-parsed path)
+	opts comm.Opts
+
+	res        *Result
+	err        error
+	endAnalyze obs.EndFunc
+	done       chan struct{}
+}
+
+// pstage is one stage: its bounded input queue, worker budget, and
+// occupancy/throughput accounting (sampled by PipelineStats and the
+// gnt_pipeline_* gauges).
+type pstage struct {
+	name    string // stats/gauge label
+	counter string // declared obs counter, bumped once per item serviced
+	workers int
+	in      chan *pipeTask
+
+	busy   atomic.Int64
+	items  atomic.Int64
+	busyNS atomic.Int64
+}
+
+// pipeline owns the stages. Created once per Engine in New; torn down
+// by Engine.Close, which closes the parse queue and lets the close
+// cascade stage by stage as each one's workers drain and exit.
+type pipeline struct {
+	eng    *Engine
+	stages [numStages]*pstage
+	done   sync.WaitGroup
+	shed   atomic.Int64
+
+	// delay, when non-nil, runs at the start of every stage body — the
+	// test hook the stage-imbalance tests use to make one stage slow.
+	delay func(stage string)
+}
+
+func newPipeline(e *Engine, sw StageWorkers, queue int) *pipeline {
+	p := &pipeline{eng: e}
+	defs := [numStages]struct {
+		name    string
+		counter string
+		workers int
+	}{
+		{obs.SpanParse, obs.CounterPipelineParse, sw.Parse},
+		{obs.SpanCFGBuild, obs.CounterPipelineCFGBuild, sw.CFGBuild},
+		{obs.SpanIntervalReduce, obs.CounterPipelineIntervalReduce, sw.IntervalReduce},
+		{obs.SpanSectionUniverse, obs.CounterPipelineSectionUniverse, sw.SectionUniverse},
+		{"solve", obs.CounterPipelineSolve, sw.Solve},
+		{obs.SpanCheck, obs.CounterPipelineCheck, sw.Check},
+		{"render", obs.CounterPipelineRender, sw.Render},
+	}
+	for i, d := range defs {
+		p.stages[i] = &pstage{
+			name:    d.name,
+			counter: d.counter,
+			workers: d.workers,
+			in:      make(chan *pipeTask, queue),
+		}
+	}
+	p.done.Add(numStages)
+	for i := range p.stages {
+		i, st := i, p.stages[i]
+		var wg sync.WaitGroup
+		wg.Add(st.workers)
+		for w := 0; w < st.workers; w++ {
+			go func() {
+				defer wg.Done()
+				p.work(i, st)
+			}()
+		}
+		go func() {
+			wg.Wait()
+			if i+1 < numStages {
+				close(p.stages[i+1].in)
+			}
+			p.done.Done()
+		}()
+	}
+	return p
+}
+
+// submit enqueues t at stage idx, honoring the task's context; false
+// means the task never entered the pipeline (its ctx was already dead,
+// or died while waiting for queue space).
+func (p *pipeline) submit(idx int, t *pipeTask) bool {
+	if t.ctx.Err() != nil {
+		return false
+	}
+	select {
+	case p.stages[idx].in <- t:
+		return true
+	case <-t.ctx.Done():
+		return false
+	}
+}
+
+// noteShed accounts one task leaving the pipeline because its context
+// died while it was queued or waiting on a downstream queue.
+func (p *pipeline) noteShed() {
+	p.shed.Add(1)
+	obs.Count(p.eng.cfg.Collector, obs.CounterPipelineShed, 1)
+}
+
+// work is one stage worker: drain the stage's queue until it closes.
+// Every received task is polled for cancellation before any work runs,
+// so a dead request sheds here instead of occupying the stage; live
+// tasks run the stage body and move downstream, blocking on the next
+// queue (backpressure) unless their context dies while they wait.
+func (p *pipeline) work(idx int, st *pstage) {
+	for t := range st.in {
+		if t.err == nil {
+			if err := t.ctx.Err(); err != nil {
+				t.err = err
+				p.noteShed()
+			}
+		}
+		if t.err != nil {
+			p.complete(t)
+			continue
+		}
+		start := time.Now()
+		st.busy.Add(1)
+		p.runStage(idx, t)
+		st.busy.Add(-1)
+		st.busyNS.Add(time.Since(start).Nanoseconds())
+		st.items.Add(1)
+		obs.Count(p.eng.cfg.Collector, st.counter, 1)
+		if t.err != nil || idx == stageRender {
+			p.complete(t)
+			continue
+		}
+		select {
+		case p.stages[idx+1].in <- t:
+		case <-t.ctx.Done():
+			t.err = t.ctx.Err()
+			p.noteShed()
+			p.complete(t)
+		}
+	}
+}
+
+// complete finishes a task: a failed task releases its leased arenas
+// and surfaces only its error (the same contract as Analyze), the
+// engine.analyze span closes, and the submitter wakes.
+func (p *pipeline) complete(t *pipeTask) {
+	if t.err != nil && t.res != nil {
+		t.res.Release()
+		t.res = nil
+	}
+	if t.endAnalyze != nil {
+		t.endAnalyze()
+	}
+	close(t.done)
+}
+
+// recoverTo converts a stage-body panic into a *PanicError on the
+// task, mirroring the pool's isolation boundary: one poisoned program
+// degrades, the stage worker survives.
+func (p *pipeline) recoverTo(dst *error) {
+	if r := recover(); r != nil {
+		p.eng.taskPanics.Add(1)
+		obs.Count(p.eng.cfg.Collector, obs.CounterPoolPanic, 1)
+		*dst = &PanicError{Value: r, Stack: debug.Stack()}
+	}
+}
+
+// runStage executes stage idx's body on t, leaving the outcome in
+// t.err / t.res / t.prog.
+func (p *pipeline) runStage(idx int, t *pipeTask) {
+	defer p.recoverTo(&t.err)
+	if p.delay != nil {
+		p.delay(p.stages[idx].name)
+	}
+	switch idx {
+	case stageParse:
+		end := obs.Begin(t.col, obs.SpanParse)
+		prog, err := frontend.Parse(t.src)
+		end()
+		if err != nil {
+			t.err = err
+			return
+		}
+		t.prog = prog
+	case stageCFG:
+		a, err := comm.StageCFG(t.ctx, t.prog, t.col)
+		if err != nil {
+			t.err = err
+			return
+		}
+		t.res = &Result{Analysis: a, eng: p.eng}
+	case stageIntervals:
+		t.err = t.res.Analysis.StageIntervals(t.ctx, t.col)
+	case stageUniverse:
+		if err := t.res.Analysis.StageUniverse(t.ctx, t.col); err != nil {
+			t.err = err
+			return
+		}
+		t.res.Analysis.ApplyOpts(t.opts)
+	case stageSolve:
+		p.runSolve(t)
+	case stageCheck:
+		p.runCheck(t)
+	case stageRender:
+		// Delivery. The engine returns structured results, so there is
+		// no byte rendering to do here; the stage exists so a future
+		// renderer (annotated source, response bodies) has its slot in
+		// the flow, and so completion accounting is a stage like any
+		// other.
+	}
+}
+
+// runSolve leases the task's arenas and runs the READ and WRITE solve
+// halves concurrently — the same decomposition the pool path used,
+// preserved inside one stage so the halves' independence (comm.Build
+// documents it) keeps paying off per program. Error precedence matches
+// the pool path: a READ failure wins over a WRITE failure.
+func (p *pipeline) runSolve(t *pipeTask) {
+	a := t.res.Analysis
+	t.res.arenas = []*bitset.Arena{
+		p.eng.arenas.Get().(*bitset.Arena),
+		p.eng.arenas.Get().(*bitset.Arena),
+	}
+	writeErr := make(chan error, 1)
+	go func() {
+		var err error
+		defer func() { writeErr <- err }()
+		defer p.recoverTo(&err)
+		err = a.SolveWrite(t.ctx, t.col, t.res.arenas[1])
+	}()
+	var readErr error
+	func() {
+		defer p.recoverTo(&readErr)
+		readErr = a.SolveRead(t.ctx, t.col, t.res.arenas[0])
+	}()
+	werr := <-writeErr
+	if readErr != nil {
+		t.err = readErr
+		return
+	}
+	t.err = werr
+}
+
+// runCheck statically verifies each solved problem concurrently and
+// merges the verdicts with the linter's findings — byte-identical to
+// the pool path's verification stage.
+func (p *pipeline) runCheck(t *pipeTask) {
+	a := t.res.Analysis
+	vend := obs.Begin(t.col, obs.SpanEngineVerify)
+	probs := a.Problems()
+	partial := make([]*check.Result, len(probs))
+	errs := make([]error, len(probs))
+	var wg sync.WaitGroup
+	wg.Add(len(probs))
+	for i, pr := range probs {
+		i, pr := i, pr
+		go func() {
+			defer wg.Done()
+			defer p.recoverTo(&errs[i])
+			partial[i], errs[i] = check.VerifyCtx(t.ctx, pr)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			vend()
+			t.err = err
+			return
+		}
+	}
+	cr := check.Merge(partial...)
+	cr.Diagnostics = append(cr.Diagnostics, a.Lints(probs)...)
+	cr.Sort()
+	t.res.Check = cr
+	vend("errors", len(cr.Errors()), "warnings", len(cr.Warnings()))
+}
+
+// close begins teardown: no further submissions may race it. The parse
+// queue closes here; each stage's close cascades to the next as its
+// workers drain and exit, and done.Wait returns once the render stage
+// has flushed.
+func (p *pipeline) close() {
+	close(p.stages[stageParse].in)
+	p.done.Wait()
+}
+
+// StageStats is one pipeline stage's point-in-time accounting: queue
+// depth and busy workers are live occupancy (what the
+// gnt_pipeline_queue_depth and gnt_pipeline_occupancy gauges sample at
+// scrape time), items and busy time are cumulative throughput — their
+// ratio per worker is the stage's measured service rate, which is what
+// gntbench's pipeline sweep holds corpus throughput against.
+type StageStats struct {
+	Stage      string  `json:"stage"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	Busy       int64   `json:"busy"`
+	Items      int64   `json:"items"`
+	BusyMS     float64 `json:"busy_ms"`
+}
+
+// PipelineStats snapshots every stage in flow order.
+func (e *Engine) PipelineStats() []StageStats {
+	out := make([]StageStats, 0, numStages)
+	for _, st := range e.pipe.stages {
+		out = append(out, StageStats{
+			Stage:      st.name,
+			Workers:    st.workers,
+			QueueDepth: len(st.in),
+			Busy:       st.busy.Load(),
+			Items:      st.items.Load(),
+			BusyMS:     float64(st.busyNS.Load()) / 1e6,
+		})
+	}
+	return out
+}
+
+// PipelineShed reports how many tasks left the pipeline because their
+// context died in-flight.
+func (e *Engine) PipelineShed() int64 { return e.pipe.shed.Load() }

@@ -90,3 +90,48 @@ func (ex *executor) spin(n int) {
 		n--
 	}
 }
+
+// stageLoop is the engine pipeline's bounded-queue idiom: an unbounded
+// stage loop whose every iteration selects between its input queue and
+// the context. The select mentions ctx, so the loop passes without
+// suppression — the convention the stage workers rely on.
+func stageLoop(ctx context.Context, in <-chan int, out chan<- int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v, ok := <-in:
+			if !ok {
+				return
+			}
+			select {
+			case out <- v + 1:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// rangeStage drains a queue with range; the loop terminates when the
+// upstream closes the channel, so it is exempt like any range loop.
+func rangeStage(ctx context.Context, in <-chan int) int {
+	n := 0
+	for v := range in {
+		n += v
+	}
+	return n
+}
+
+// stageLoopRacy receives and forwards without ever consulting the
+// context: a full downstream queue wedges the worker forever even
+// after every request died.
+func stageLoopRacy(ctx context.Context, in <-chan int, out chan<- int) {
+	for { // want `never polls the context`
+		v, ok := <-in
+		if !ok {
+			return
+		}
+		out <- v
+	}
+}

@@ -73,6 +73,25 @@ const (
 	CounterAdmitShed = "engine.admission.shed"
 )
 
+// Canonical counter names of the stage-pipelined batch path
+// (internal/engine/pipeline.go). One counter per stage, bumped once per
+// program the stage services, so corpus progress is observable stage by
+// stage; the telemetry bridge folds them into the
+// gnt_pipeline_items_total family under a stage label.
+const (
+	CounterPipelineParse           = "pipeline.stage.parse"
+	CounterPipelineCFGBuild        = "pipeline.stage.cfg-build"
+	CounterPipelineIntervalReduce  = "pipeline.stage.interval-reduce"
+	CounterPipelineSectionUniverse = "pipeline.stage.section-universe"
+	CounterPipelineSolve           = "pipeline.stage.solve"
+	CounterPipelineCheck           = "pipeline.stage.check"
+	CounterPipelineRender          = "pipeline.stage.render"
+	// CounterPipelineShed counts tasks that left the pipeline without
+	// completing their stages: their request context died while they
+	// were queued (or while they waited for downstream queue space).
+	CounterPipelineShed = "pipeline.shed"
+)
+
 // Canonical span and counter names of the durable result journal
 // (internal/journal) and its replay path.
 const (
@@ -151,6 +170,18 @@ const (
 	MetricJournalTornTails     = "gnt_journal_torn_tails_total"
 	MetricJournalPending       = "gnt_journal_pending_records"
 
+	// Stage-pipelined batch path. MetricPipelineItems counts programs
+	// serviced per stage by (stage); MetricPipelineShed counts tasks
+	// whose context died inside the pipeline. The queue-depth and
+	// occupancy gauges are sampled live at scrape time by (stage), and
+	// MetricPipelineWorkers exposes the per-stage worker budget so
+	// occupancy is readable as a utilization ratio.
+	MetricPipelineItems      = "gnt_pipeline_items_total"
+	MetricPipelineShed       = "gnt_pipeline_shed_total"
+	MetricPipelineQueueDepth = "gnt_pipeline_queue_depth"
+	MetricPipelineOccupancy  = "gnt_pipeline_occupancy"
+	MetricPipelineWorkers    = "gnt_pipeline_stage_workers"
+
 	// MetricObsCounter is the catch-all family for declared obs
 	// counters with no dedicated metric mapping, labeled by (name).
 	MetricObsCounter = "gnt_obs_counter_total"
@@ -211,6 +242,10 @@ func Counters() []string {
 		CounterJournalAppend, CounterJournalSealed, CounterJournalSealedRecords,
 		CounterJournalReplayed, CounterJournalCorruptBatch,
 		CounterJournalCorruptRecord, CounterJournalTornTail,
+		CounterPipelineParse, CounterPipelineCFGBuild,
+		CounterPipelineIntervalReduce, CounterPipelineSectionUniverse,
+		CounterPipelineSolve, CounterPipelineCheck, CounterPipelineRender,
+		CounterPipelineShed,
 	}
 }
 
@@ -225,6 +260,8 @@ func Metrics() []string {
 		MetricJournalAppended, MetricJournalSealedBatches, MetricJournalSealedRecords,
 		MetricJournalReplayed, MetricJournalCorrupt, MetricJournalTornTails,
 		MetricJournalPending,
+		MetricPipelineItems, MetricPipelineShed, MetricPipelineQueueDepth,
+		MetricPipelineOccupancy, MetricPipelineWorkers,
 		MetricObsCounter,
 		MetricRouteRequests, MetricRouteDuration, MetricRouteAttempts,
 		MetricRouteFailovers, MetricRouteHedges, MetricRouteProbes,

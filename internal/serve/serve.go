@@ -741,7 +741,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Results: make([]json.RawMessage, len(breq.Requests)),
 		Cache:   make([]string, len(breq.Requests)),
 	}
-	s.engine.Map(r.Context(), len(breq.Requests), func(ctx context.Context, i int) {
+	launched := s.engine.Map(r.Context(), len(breq.Requests), func(ctx context.Context, i int) {
 		req := &breq.Requests[i]
 		render := func(resp *Response, src engine.CacheSource) {
 			b, _ := json.Marshal(resp)
@@ -768,6 +768,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out.Results[i] = json.RawMessage(trimNewline(cached.Body))
 		out.Cache[i] = string(src)
 	})
+	// A canceled batch stops launching mid-way; the slots Map never
+	// reached still owe the client an answer, not a null.
+	for i := launched; i < len(breq.Requests); i++ {
+		b, _ := json.Marshal(&Response{Error: context.Canceled.Error(), Code: "canceled"})
+		out.Results[i], out.Cache[i] = b, string(engine.CacheBypass)
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"givetake/internal/engine"
 	"givetake/internal/obs"
 	"givetake/internal/telemetry"
 )
@@ -75,10 +76,41 @@ func (s *Server) registerGauges() {
 	reg.GaugeFunc(obs.MetricCacheBytes,
 		"Resident result-cache bytes.",
 		func() float64 { return float64(s.engine.Stats().Cache.Bytes) })
+	reg.GaugeSeriesFunc(obs.MetricPipelineQueueDepth,
+		"Tasks waiting in each pipeline stage's bounded input queue.",
+		[]string{"stage"}, s.pipelineSamples(func(st engine.StageStats) float64 {
+			return float64(st.QueueDepth)
+		}))
+	reg.GaugeSeriesFunc(obs.MetricPipelineOccupancy,
+		"Pipeline stage workers executing a task right now.",
+		[]string{"stage"}, s.pipelineSamples(func(st engine.StageStats) float64 {
+			return float64(st.Busy)
+		}))
+	reg.GaugeSeriesFunc(obs.MetricPipelineWorkers,
+		"Configured worker count of each pipeline stage.",
+		[]string{"stage"}, s.pipelineSamples(func(st engine.StageStats) float64 {
+			return float64(st.Workers)
+		}))
 	if s.journal != nil {
 		reg.GaugeFunc(obs.MetricJournalPending,
 			"Appended records not yet sealed by a group commit.",
 			func() float64 { return float64(s.journal.Stats().PendingRecords) })
+	}
+}
+
+// pipelineSamples adapts one field of the engine's per-stage pipeline
+// stats into the scrape-time series callback shape the registry wants.
+func (s *Server) pipelineSamples(field func(engine.StageStats) float64) func() []telemetry.GaugeSample {
+	return func() []telemetry.GaugeSample {
+		stats := s.engine.PipelineStats()
+		out := make([]telemetry.GaugeSample, 0, len(stats))
+		for _, st := range stats {
+			out = append(out, telemetry.GaugeSample{
+				LabelVals: []string{st.Stage},
+				Value:     field(st),
+			})
+		}
+		return out
 	}
 }
 

@@ -18,9 +18,22 @@ type Bridge struct {
 	stages    Histogram // by (stage)
 	admission Counter   // by (outcome)
 	cache     Counter   // by (event)
+	pipeline  Counter   // by (stage)
 	journal   map[string]Counter
 	plain     map[string]Counter // obs counter name -> dedicated family
 	other     Counter            // catch-all, by (name)
+}
+
+// pipelineStageOf maps each per-stage pipeline counter to the stage
+// label its increments carry on gnt_pipeline_items_total.
+var pipelineStageOf = map[string]string{
+	obs.CounterPipelineParse:           obs.SpanParse,
+	obs.CounterPipelineCFGBuild:        obs.SpanCFGBuild,
+	obs.CounterPipelineIntervalReduce:  obs.SpanIntervalReduce,
+	obs.CounterPipelineSectionUniverse: obs.SpanSectionUniverse,
+	obs.CounterPipelineSolve:           "solve",
+	obs.CounterPipelineCheck:           obs.SpanCheck,
+	obs.CounterPipelineRender:          "render",
 }
 
 // NewBridge registers the bridged families on reg and returns the
@@ -33,10 +46,14 @@ func NewBridge(reg *Registry) *Bridge {
 			"Admission-queue outcomes.", "outcome"),
 		cache: reg.Counter(obs.MetricCacheEvents,
 			"Result-cache events.", "event"),
+		pipeline: reg.Counter(obs.MetricPipelineItems,
+			"Programs serviced per pipeline stage.", "stage"),
 		other: reg.Counter(obs.MetricObsCounter,
 			"Declared obs counters without a dedicated family.", "name"),
 	}
 	b.plain = map[string]Counter{
+		obs.CounterPipelineShed: reg.Counter(obs.MetricPipelineShed,
+			"Pipeline tasks shed because their context died in-flight."),
 		obs.CounterPoolTask: reg.Counter(obs.MetricPoolTasks,
 			"Tasks executed by the engine worker pool."),
 		obs.CounterPoolPanic: reg.Counter(obs.MetricPoolPanics,
@@ -95,6 +112,10 @@ func (b *Bridge) Count(name string, delta int64) {
 	case obs.CounterJournalCorruptRecord:
 		b.journal[name].Add(d, "record")
 	default:
+		if stage, ok := pipelineStageOf[name]; ok {
+			b.pipeline.Add(d, stage)
+			return
+		}
 		if c, ok := b.plain[name]; ok {
 			c.Add(d)
 			return

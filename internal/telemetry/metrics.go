@@ -48,12 +48,13 @@ func NewRegistry() *Registry {
 }
 
 type family struct {
-	name    string
-	help    string
-	typ     string // "counter" | "gauge" | "histogram"
-	labels  []string
-	buckets []float64      // histograms only
-	fn      func() float64 // gauge-func families only (unlabeled)
+	name     string
+	help     string
+	typ      string // "counter" | "gauge" | "histogram"
+	labels   []string
+	buckets  []float64            // histograms only
+	fn       func() float64       // gauge-func families only (unlabeled)
+	seriesFn func() []GaugeSample // gauge-series-func families only (labeled)
 
 	mu     sync.Mutex
 	series map[string]*series
@@ -62,11 +63,11 @@ type family struct {
 
 type series struct {
 	labelVals []string
-	value     float64   // counter/gauge
-	counts    []uint64  // histogram: per-bucket (non-cumulative)
-	infCount  uint64    // histogram: observations above the last bound
-	sum       float64   // histogram
-	count     uint64    // histogram
+	value     float64  // counter/gauge
+	counts    []uint64 // histogram: per-bucket (non-cumulative)
+	infCount  uint64   // histogram: observations above the last bound
+	sum       float64  // histogram
+	count     uint64   // histogram
 }
 
 // register returns the named family, creating it on first use. A
@@ -141,7 +142,14 @@ type Counter struct{ f *family }
 
 // Counter registers (or fetches) a counter family.
 func (r *Registry) Counter(name, help string, labels ...string) Counter {
-	return Counter{r.register(name, help, "counter", nil, labels)}
+	f := r.register(name, help, "counter", nil, labels)
+	if len(labels) == 0 {
+		// A label-less counter has exactly one possible series; expose
+		// it as 0 from registration so scrapers see the family exists
+		// and rate() works from the first increment.
+		f.seriesFor(nil)
+	}
+	return Counter{f}
 }
 
 // Add increments the series by delta; negative deltas panic — counters
@@ -191,6 +199,27 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.register(name, help, "gauge", nil, nil)
 	f.mu.Lock()
 	f.fn = fn
+	f.mu.Unlock()
+}
+
+// GaugeSample is one labeled sample produced by a GaugeSeriesFunc
+// callback: the label values (in registration order) and the value.
+type GaugeSample struct {
+	LabelVals []string
+	Value     float64
+}
+
+// GaugeSeriesFunc registers a labeled gauge family whose entire series
+// set is produced by fn at scrape time — the labeled sibling of
+// GaugeFunc, for occupancy values that exist per member of a small
+// fixed set (pipeline stages, shards). Samples render sorted by label
+// values; a sample whose label count disagrees with the registration
+// panics at scrape, same as a mismatched seriesFor call would.
+// Re-registering replaces the callback.
+func (r *Registry) GaugeSeriesFunc(name, help string, labels []string, fn func() []GaugeSample) {
+	f := r.register(name, help, "gauge", nil, labels)
+	f.mu.Lock()
+	f.seriesFn = fn
 	f.mu.Unlock()
 }
 
@@ -254,6 +283,21 @@ func (f *family) expose(b *strings.Builder) {
 
 	if f.fn != nil {
 		fmt.Fprintf(b, "%s %s\n", f.name, formatValue(f.fn()))
+		return
+	}
+	if f.seriesFn != nil {
+		samples := f.seriesFn()
+		sort.Slice(samples, func(i, j int) bool {
+			return strings.Join(samples[i].LabelVals, "\x00") < strings.Join(samples[j].LabelVals, "\x00")
+		})
+		for _, s := range samples {
+			if len(s.LabelVals) != len(f.labels) {
+				panic(fmt.Sprintf("telemetry: metric %q sample has %d label values, want %d",
+					f.name, len(s.LabelVals), len(f.labels)))
+			}
+			fmt.Fprintf(b, "%s%s %s\n", f.name,
+				labelString(f.labels, s.LabelVals, "", ""), formatValue(s.Value))
+		}
 		return
 	}
 	keys := append([]string(nil), f.order...)
